@@ -1,0 +1,152 @@
+"""Extension benchmarks: Cyclon, SCAMP and the combined two-view service.
+
+Positions the paper's related/future work against the skeleton instances:
+
+- Cyclon's shuffle keeps degrees even tighter than head view selection and
+  heals dead links through its built-in failure detection;
+- SCAMP self-sizes views to ~(c+1) ln N without any global knowledge;
+- the combined (head + rand) service inherits fast healing from its head
+  instance while the rand instance retains long partition memory -- the
+  paper's Section 10 proposal.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.core.config import ProtocolConfig
+from repro.experiments.reporting import format_table
+from repro.extensions.cyclon import CyclonConfig, cyclon_engine
+from repro.extensions.scamp import ScampConfig, build_scamp_network
+from repro.extensions.second_view import CombinedOverlay
+from repro.graph.components import is_connected
+from repro.graph.metrics import average_degree
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.churn import massive_failure
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import random_bootstrap
+
+N, C, CYCLES = 400, 12, 50
+
+
+def test_cyclon_vs_skeleton(benchmark):
+    def run():
+        rows = []
+        for name, engine in (
+            ("cyclon", cyclon_engine(CyclonConfig(C, C // 2), seed=2)),
+            (
+                "(rand,head,pushpull)",
+                CycleEngine(
+                    ProtocolConfig.from_label("(rand,head,pushpull)", C), seed=2
+                ),
+            ),
+            (
+                "(rand,rand,pushpull)",
+                CycleEngine(
+                    ProtocolConfig.from_label("(rand,rand,pushpull)", C), seed=2
+                ),
+            ),
+        ):
+            random_bootstrap(engine, N)
+            engine.run(CYCLES)
+            snapshot = GraphSnapshot.from_engine(engine)
+            degrees = snapshot.degrees()
+            massive_failure(engine, 0.5)
+            initial = engine.dead_link_count()
+            engine.run(30)
+            residual = engine.dead_link_count() / initial if initial else 0.0
+            rows.append(
+                [
+                    name,
+                    average_degree(snapshot),
+                    float(degrees.std()),
+                    residual,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        ["protocol", "avg degree", "degree std", "healing residual"],
+        rows,
+        precision=3,
+        title=f"Cyclon vs skeleton instances (N={N}, c={C})",
+    )
+    emit_report("extension_cyclon", report)
+    by_name = {row[0]: row for row in rows}
+    # Cyclon's degree balance beats rand view selection.
+    assert by_name["cyclon"][2] < by_name["(rand,rand,pushpull)"][2]
+    # Cyclon heals (failure detection), unlike rand view selection.
+    assert by_name["cyclon"][3] < 0.3
+    assert by_name["(rand,rand,pushpull)"][3] > 0.3
+
+
+def test_scamp_view_scaling(benchmark):
+    def run():
+        rows = []
+        for n in (100, 200, 400):
+            network = build_scamp_network(n, ScampConfig(c=0), seed=4)
+            snapshot = GraphSnapshot.from_views(network.views())
+            rows.append(
+                [
+                    n,
+                    network.mean_view_size(),
+                    math.log(n),
+                    is_connected(snapshot),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = format_table(
+        ["N", "mean view size", "ln N", "connected"],
+        rows,
+        precision=2,
+        title="SCAMP self-sizing: mean view size tracks ln N",
+    )
+    emit_report("extension_scamp", report)
+    for n, mean_view, log_n, connected in rows:
+        assert connected
+        assert 0.5 * log_n < mean_view < 4 * log_n
+    # View size grows with N (logarithmic self-sizing).
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_combined_second_view_service(benchmark):
+    configs = [
+        ProtocolConfig.from_label("(rand,head,pushpull)", C),
+        ProtocolConfig.from_label("(rand,rand,pushpull)", C),
+    ]
+
+    def run():
+        overlay = CombinedOverlay(configs, seed=5)
+        first = overlay.add_node()
+        for _ in range(N - 1):
+            overlay.add_node(contacts=[first])
+        overlay.run(CYCLES)
+        overlay.crash_random_nodes(N // 2)
+        overlay.run(30)
+        head_dead = overlay.engines[0].dead_link_count()
+        rand_dead = overlay.engines[1].dead_link_count()
+        combined_connected = is_connected(
+            GraphSnapshot.from_views(overlay.views())
+        )
+        return head_dead, rand_dead, combined_connected
+
+    head_dead, rand_dead, connected = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report = format_table(
+        ["view", "dead links 30 cycles after 50% crash"],
+        [
+            ["head instance (fast healing)", head_dead],
+            ["rand instance (partition memory)", rand_dead],
+            ["combined overlay connected", str(connected)],
+        ],
+        title="Second-view combination (paper Section 10)",
+    )
+    emit_report("extension_second_view", report)
+    assert connected
+    # The head instance of the union heals while the rand one remembers.
+    assert head_dead < 0.2 * rand_dead

@@ -1,0 +1,38 @@
+"""Benchmark + reproduction of paper Figure 2 (growing-scenario dynamics).
+
+Regenerates the clustering / degree / path-length series for the six
+stable protocols while the overlay grows, and checks the qualitative
+claims: pushpull converges to stable values, push converges far more
+slowly, and (*,rand,pushpull) lands closest to the random baseline.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments import figure2
+
+
+def _series(result, label):
+    return next(s for s in result.series if s.label == label)
+
+
+def test_figure2_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure2.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("figure2", figure2.report(result))
+
+    baseline_degree = result.baseline["average_degree"]
+    pushpull = _series(result, "(rand,rand,pushpull)")
+    push = _series(result, "(rand,rand,push)")
+
+    # After growth ends, (rand,rand,pushpull) approaches the baseline
+    # average degree; push-only stays visibly below (slow convergence).
+    assert pushpull.average_degree[-1] > 0.85 * baseline_degree
+    assert push.average_degree[-1] < pushpull.average_degree[-1]
+
+    # All protocols end up with a small average path length (within 2x of
+    # the random topology), even though the overlay grew from one node.
+    for series in result.series:
+        assert (
+            series.average_path_length[-1]
+            < 2.0 * result.baseline["average_path_length"]
+        ), series.label

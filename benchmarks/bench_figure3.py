@@ -1,0 +1,40 @@
+"""Benchmark + reproduction of paper Figure 3 (lattice/random convergence).
+
+Regenerates the six panels and checks: the lattice's huge initial path
+length collapses within a few cycles; both starts converge to the same
+per-protocol clustering (self-organization); every protocol's clustering
+stays above the random baseline.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.experiments import figure3
+
+
+def _series(result, scenario, label):
+    return next(s for s in result.series[scenario] if s.label == label)
+
+
+def test_figure3_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure3.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("figure3", figure3.report(result))
+
+    # Path length collapse from the lattice start (paper plots log scale).
+    lattice = _series(result, "lattice", "(rand,head,pushpull)")
+    assert lattice.average_path_length[0] > 4 * lattice.average_path_length[-1]
+
+    # Self-organization: both starts converge to similar clustering.
+    for label in ("(rand,head,pushpull)", "(rand,rand,pushpull)"):
+        from_lattice = _series(result, "lattice", label).clustering[-1]
+        from_random = _series(result, "random", label).clustering[-1]
+        assert from_lattice == pytest.approx(from_random, rel=0.4), label
+
+    # Clustering above the random baseline for every studied protocol.
+    for scenario in ("lattice", "random"):
+        for series in result.series[scenario]:
+            assert (
+                series.clustering[-1] > result.baseline["clustering"]
+            ), (scenario, series.label)

@@ -1,0 +1,35 @@
+"""Benchmark + reproduction of paper Figure 4 (degree distributions).
+
+Regenerates the checkpointed degree distributions and checks the paper's
+central dichotomy: head view selection keeps the distribution narrow and
+reaches its final shape within a few cycles; rand view selection grows a
+heavy right tail.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments import figure4
+
+
+def test_figure4_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure4.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("figure4", figure4.report(result))
+
+    finals = {
+        label: snapshots[-1] for label, snapshots in result.snapshots.items()
+    }
+    # rand view selection: much wider distribution than head.
+    for propagation in ("push", "pushpull"):
+        head = finals[f"(rand,head,{propagation})"]
+        rand = finals[f"(rand,rand,{propagation})"]
+        assert rand.std > 1.5 * head.std, propagation
+        assert rand.maximum > head.maximum, propagation
+        # Heavy tail: nodes above twice the mean exist under rand only.
+        assert rand.tail_weight >= head.tail_weight
+
+    # Head distributions converge early: the cycle-3 shape is already close
+    # to the final one (std within a factor ~2), unlike rand which drifts.
+    head_series = result.snapshots["(rand,head,pushpull)"]
+    early, late = head_series[1], head_series[-1]
+    assert early.std < 2.5 * late.std

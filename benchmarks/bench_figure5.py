@@ -1,0 +1,27 @@
+"""Benchmark + reproduction of paper Figure 5 (degree autocorrelation).
+
+Regenerates the autocorrelation curves and checks: (rand,head,pushpull)
+is "practically random" (stays essentially inside the 99% band), while the
+rand-view-selection protocols show strong short-term correlation.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments import figure5
+
+
+def test_figure5_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure5.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("figure5", figure5.report(result))
+
+    outside = result.fraction_outside
+    # (rand,head,pushpull): practically random.
+    assert outside["(rand,head,pushpull)"] < 0.25
+    # (rand,rand,*): strongly structured series.
+    assert outside["(rand,rand,push)"] > outside["(rand,head,pushpull)"]
+    assert outside["(rand,rand,pushpull)"] > outside["(rand,head,pushpull)"]
+    # Strong short-term correlation for rand view selection: lag-1
+    # autocorrelation far outside the band.
+    assert result.curves["(rand,rand,push)"][1] > 2 * result.band
+    benchmark.extra_info["fraction_outside"] = outside

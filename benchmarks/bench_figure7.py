@@ -1,0 +1,46 @@
+"""Benchmark + reproduction of paper Figure 7 (self-healing).
+
+Regenerates the dead-link decay curves after a 50% crash and checks every
+claim of the paper's Section 7/8 discussion:
+
+- head view selection heals exponentially fast (pushpull fastest, the two
+  pushpull curves effectively overlapping);
+- (rand,head,push) heals quickly, (tail,head,push) significantly slower;
+- rand view selection heals linearly at best;
+- (tail,rand,push) *increases* its dead-link count.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments import figure7
+
+
+def test_figure7_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: figure7.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("figure7", figure7.report(result))
+
+    series = {s.label: s for s in result.series}
+
+    # Head view selection: fast, (nearly) complete healing.
+    for label in ("(rand,head,pushpull)", "(tail,head,pushpull)"):
+        assert series[label].half_life is not None
+        assert series[label].half_life <= 6, label
+        assert series[label].residual_fraction < 0.10, label
+
+    # Push heals, but slower than pushpull.
+    head_push = series["(rand,head,push)"]
+    head_pushpull = series["(rand,head,pushpull)"]
+    assert head_push.half_life >= head_pushpull.half_life
+    assert head_push.residual_fraction < 0.10
+
+    # (tail,head,push) significantly slower than (rand,head,push).
+    assert series["(tail,head,push)"].half_life >= head_push.half_life
+
+    # rand view selection: linear at best.
+    for label in ("(rand,rand,push)", "(rand,rand,pushpull)"):
+        assert series[label].residual_fraction > 0.30, label
+
+    # (tail,rand,push): dead links do not shrink (the paper observed an
+    # increase).
+    assert series["(tail,rand,push)"].residual_fraction > 0.85

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the protocol hot paths.
+
+These quantify the costs that dominate large simulations: view merging,
+view selection, one full pushpull exchange, and one engine cycle.
+"""
+
+import random
+
+from repro.core.config import newscast
+from repro.core.descriptor import NodeDescriptor
+from repro.core.protocol import GossipNode
+from repro.core.view import merge, select_head, select_rand
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import random_bootstrap
+
+
+def _entries(n, offset=0):
+    return [NodeDescriptor(offset + i, i % 7) for i in range(n)]
+
+
+def test_merge_two_views(benchmark):
+    first = _entries(30)
+    second = _entries(30, offset=15)  # 50% overlap
+    result = benchmark(lambda: merge(first, second))
+    assert len(result) == 45
+
+
+def test_select_head_from_buffer(benchmark):
+    buffer = merge(_entries(61))
+    result = benchmark(lambda: select_head(buffer, 30))
+    assert len(result) == 30
+
+
+def test_select_rand_from_buffer(benchmark):
+    buffer = merge(_entries(61))
+    rng = random.Random(0)
+    result = benchmark(lambda: select_rand(buffer, 30, rng))
+    assert len(result) == 30
+
+
+def test_full_pushpull_exchange(benchmark):
+    rng = random.Random(0)
+    config = newscast(view_size=30)
+    a = GossipNode("a", config, rng)
+    b = GossipNode("b", config, rng)
+    a.view.replace(_entries(30, offset=100) + [NodeDescriptor("b", 1)][:0])
+    a.view.replace([NodeDescriptor("b", 1)] + _entries(29, offset=100))
+    b.view.replace([NodeDescriptor("a", 1)] + _entries(29, offset=200))
+
+    def exchange():
+        ex = a.begin_exchange()
+        reply = b.handle_request("a", ex.payload)
+        a.handle_response(ex.peer, reply)
+
+    benchmark(exchange)
+
+
+def test_engine_cycle_500_nodes(benchmark):
+    engine = CycleEngine(newscast(view_size=20), seed=0)
+    random_bootstrap(engine, 500)
+    benchmark(engine.run_cycle)
+
+
+def test_snapshot_construction_500_nodes(benchmark):
+    engine = CycleEngine(newscast(view_size=20), seed=0)
+    random_bootstrap(engine, 500)
+    engine.run(5)
+    snapshot = benchmark(lambda: GraphSnapshot.from_engine(engine))
+    assert snapshot.n == 500

@@ -1,0 +1,28 @@
+"""Benchmark + reproduction of paper Table 1 (growing-scenario partitioning).
+
+Regenerates the partitioned-runs / cluster statistics for the four push
+protocols and checks the qualitative claim: head view selection partitions
+(almost) always, rand view selection rarely.
+"""
+
+from benchmarks.conftest import emit_report
+from repro.experiments import table1
+
+
+def test_table1_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table1.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("table1", table1.report(result))
+
+    rows = {row.label: row for row in result.rows}
+    # Qualitative shape of Table 1.
+    assert rows["(rand,head,push)"].partitioned_fraction >= 0.5
+    assert rows["(tail,head,push)"].partitioned_fraction >= 0.5
+    assert rows["(rand,rand,push)"].partitioned_fraction <= 0.4
+    assert rows["(tail,rand,push)"].partitioned_fraction <= 0.4
+    # Partitioned head runs split into several clusters.
+    assert rows["(tail,head,push)"].avg_num_clusters >= 2.0
+    benchmark.extra_info["partitioned"] = {
+        label: row.partitioned_fraction for label, row in rows.items()
+    }

@@ -1,0 +1,42 @@
+"""Benchmark + reproduction of paper Table 2 (degree dynamics).
+
+Regenerates D_K, d_bar and sqrt(sigma) for the eight protocols and checks
+the paper's claims: every node oscillates around the same mean degree
+(d_bar ~ D_K), rand view selection has a much larger sqrt(sigma) than head,
+and head protocols sit below the random baseline average degree.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.baselines.random_topology import expected_average_degree
+from repro.experiments import table2
+
+
+def test_table2_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: table2.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("table2", table2.report(result))
+
+    rows = {row.label: row.dynamics for row in result.rows}
+
+    # d_bar tracks D_K for every protocol (no drifting subpopulations).
+    for label, dynamics in rows.items():
+        assert dynamics.traced_mean == pytest.approx(
+            dynamics.final_cycle_mean_degree, rel=0.15
+        ), label
+
+    # rand view selection: sqrt(sigma) several times larger than head.
+    for ps in ("rand", "tail"):
+        for vp in ("push", "pushpull"):
+            head = rows[f"({ps},head,{vp})"].traced_std
+            rand = rows[f"({ps},rand,{vp})"].traced_std
+            assert rand > 2 * head, (ps, vp)
+
+    # Head protocols sit below the random baseline; rand ones near it.
+    baseline = expected_average_degree(scale.n_nodes, scale.view_size)
+    assert rows["(rand,head,pushpull)"].final_cycle_mean_degree < 0.95 * baseline
+    assert rows["(rand,rand,pushpull)"].final_cycle_mean_degree == pytest.approx(
+        baseline, rel=0.1
+    )

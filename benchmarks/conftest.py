@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures and report plumbing.
+
+Every paper-artefact benchmark regenerates its table/figure at the ambient
+scale (``REPRO_SCALE``, default ``quick``), prints the reproduced rows and
+stores them under ``benchmarks/out/`` so the run leaves inspectable
+artifacts behind.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit_report(name: str, report: str) -> None:
+    """Print a reproduction report and persist it to ``benchmarks/out/``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(report + "\n")
+    print(f"\n{report}\n")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The scale preset all benchmarks run at."""
+    from repro.experiments.common import current_scale
+
+    return current_scale(os.environ.get("REPRO_SCALE", "quick"))

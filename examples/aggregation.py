@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Gossip-based aggregation (averaging) on top of the peer sampling service.
+
+Aggregation is the paper's second motivating application (Section 1,
+citing Jelasity & Montresor's push-pull averaging).  Every node holds a
+number; each round every node picks a peer through the sampling service
+and both set their value to the pair's average.  The variance of the
+values decays exponentially -- IF the sampling is good enough.
+
+This example measures the per-round variance reduction factor under
+
+- the gossip-based service (Newscast views),
+- the ideal oracle (uniform sampling), and
+- a deliberately broken "static subset" sampler (each node always talks
+  to one fixed partner), the failure mode the paper warns about in
+  Section 2 ("samples are not drawn from a fixed, static subset").
+
+Run with::
+
+    python examples/aggregation.py [n_nodes]
+"""
+
+import random
+import statistics
+import sys
+from typing import Callable, Dict, List
+
+from repro import CycleEngine, newscast
+from repro.baselines.oracle import OracleGroup
+from repro.simulation.scenarios import random_bootstrap
+
+Address = int
+
+
+def run_averaging(
+    addresses: List[Address],
+    pick_peer: Callable[[Address], Address],
+    rounds: int,
+    rng: random.Random,
+) -> List[float]:
+    """Push-pull averaging; returns the variance after each round."""
+    values: Dict[Address, float] = {a: rng.uniform(0, 100) for a in addresses}
+    variances = [statistics.pvariance(values.values())]
+    for _ in range(rounds):
+        order = list(addresses)
+        rng.shuffle(order)
+        for address in order:
+            peer = pick_peer(address)
+            if peer is None:
+                continue
+            mean = (values[address] + values[peer]) / 2
+            values[address] = mean
+            values[peer] = mean
+        variances.append(statistics.pvariance(values.values()))
+    return variances
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    rounds = 15
+    rng = random.Random(11)
+
+    engine = CycleEngine(newscast(view_size=15), seed=3)
+    addresses = random_bootstrap(engine, n_nodes=n_nodes)
+    engine.run(30)
+    gossip_services = {a: engine.service(a) for a in addresses}
+
+    group = OracleGroup(seed=4)
+    oracle_services = {a: group.service(a) for a in addresses}
+
+    static_partner = {
+        a: addresses[(i + 1) % len(addresses)]
+        for i, a in enumerate(addresses)
+    }
+
+    samplers = {
+        "gossip service": lambda a: gossip_services[a].get_peer(),
+        "oracle (uniform)": lambda a: oracle_services[a].get_peer(),
+        "static partner": lambda a: static_partner[a],
+    }
+
+    print(f"push-pull averaging, {n_nodes} nodes, {rounds} rounds\n")
+    results = {}
+    for name, pick in samplers.items():
+        results[name] = run_averaging(addresses, pick, rounds, random.Random(5))
+
+    print(f"{'round':>5s} " + " ".join(f"{name:>18s}" for name in results))
+    for i in range(rounds + 1):
+        row = " ".join(f"{results[name][i]:18.4f}" for name in results)
+        print(f"{i:5d} {row}")
+
+    for name, variances in results.items():
+        if variances[0] > 0 and variances[5] > 0:
+            factor = (variances[5] / variances[0]) ** (1 / 5)
+            print(f"\n{name}: variance shrinks ~{1 / factor:.2f}x per round",
+                  end="")
+    print(
+        "\n\ngossip-based sampling matches the oracle's convergence rate;"
+        "\nthe static-subset sampler stalls far above zero variance --"
+        "\nexactly why the peer sampling service abstraction matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

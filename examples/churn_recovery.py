@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Self-healing under catastrophic failure, protocol by protocol.
+
+Reproduces the paper's Section 7 experiment as a narrative demo: converge
+an overlay, crash half of the network, and watch the dead links drain --
+or not -- depending on the view selection policy.  Also shows the
+Section 10 remedy: a combined two-view service, and Cyclon's built-in
+failure detection.
+
+Run with::
+
+    python examples/churn_recovery.py [n_nodes]
+"""
+
+import sys
+
+from repro.core.config import ProtocolConfig
+from repro.extensions.cyclon import CyclonConfig, cyclon_engine
+from repro.extensions.second_view import CombinedOverlay
+from repro.graph.components import is_connected
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.churn import massive_failure
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import random_bootstrap
+
+VIEW_SIZE = 12
+CONVERGE_CYCLES = 40
+HEAL_CYCLES = 30
+
+
+def heal_curve(engine, heal_cycles=HEAL_CYCLES):
+    """Crash 50% and track dead links; returns (initial, series)."""
+    massive_failure(engine, 0.5)
+    initial = engine.dead_link_count()
+    series = []
+    for _ in range(heal_cycles):
+        engine.run_cycle()
+        series.append(engine.dead_link_count())
+    return initial, series
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+    print(f"converging overlays of {n_nodes} nodes (c={VIEW_SIZE}), then "
+          f"crashing 50% and healing for {HEAL_CYCLES} cycles\n")
+
+    contenders = {}
+
+    for label in ("(rand,head,pushpull)", "(rand,rand,pushpull)",
+                  "(tail,rand,push)"):
+        engine = CycleEngine(
+            ProtocolConfig.from_label(label, VIEW_SIZE), seed=9
+        )
+        random_bootstrap(engine, n_nodes)
+        engine.run(CONVERGE_CYCLES)
+        contenders[label] = heal_curve(engine)
+
+    cyclon = cyclon_engine(CyclonConfig(VIEW_SIZE, VIEW_SIZE // 2), seed=9)
+    random_bootstrap(cyclon, n_nodes)
+    cyclon.run(CONVERGE_CYCLES)
+    contenders["cyclon"] = heal_curve(cyclon)
+
+    combined = CombinedOverlay(
+        [
+            ProtocolConfig.from_label("(rand,head,pushpull)", VIEW_SIZE),
+            ProtocolConfig.from_label("(rand,rand,pushpull)", VIEW_SIZE),
+        ],
+        seed=9,
+    )
+    hub = combined.add_node()
+    for _ in range(n_nodes - 1):
+        combined.add_node(contacts=[hub])
+    combined.run(CONVERGE_CYCLES)
+    combined.crash_random_nodes(n_nodes // 2)
+    initial = combined.dead_link_count()
+    series = []
+    for _ in range(HEAL_CYCLES):
+        combined.run_cycle()
+        series.append(combined.dead_link_count())
+    contenders["combined head+rand"] = (initial, series)
+    combined_connected = is_connected(
+        GraphSnapshot.from_views(combined.views())
+    )
+
+    checkpoints = [0, 4, 9, 14, 19, 29]
+    header = f"{'protocol':>22s} {'initial':>8s} " + " ".join(
+        f"c+{c + 1:<4d}" for c in checkpoints
+    )
+    print(header)
+    for name, (initial, series) in contenders.items():
+        cells = " ".join(f"{series[c]:<6d}" for c in checkpoints)
+        print(f"{name:>22s} {initial:8d} {cells}")
+
+    print(
+        "\nhead view selection (and cyclon's failure detection) drains dead"
+        "\nlinks exponentially; rand view selection barely heals, and"
+        "\n(tail,rand,push) gets worse -- the paper's Figure 7 in miniature."
+        f"\ncombined overlay still connected: {combined_connected}"
+    )
+
+
+if __name__ == "__main__":
+    main()

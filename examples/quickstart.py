@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: run a gossip-based peer sampling service and inspect it.
+
+This script walks through the library's core workflow:
+
+1. pick a protocol instance from the paper's design space (here Newscast,
+   ``(rand, head, pushpull)``);
+2. simulate a network of nodes running it;
+3. use the two-method service API (``init`` / ``get_peer``) exactly as a
+   gossip application would;
+4. compare the emergent overlay against the uniform random baseline the
+   paper evaluates against.
+
+Run with::
+
+    python examples/quickstart.py [n_nodes]
+"""
+
+import random
+import sys
+
+from repro import CycleEngine, newscast
+from repro.baselines.random_topology import random_baseline_metrics
+from repro.graph.metrics import (
+    average_degree,
+    average_path_length,
+    clustering_coefficient,
+)
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.scenarios import random_bootstrap
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    view_size = 15
+    cycles = 40
+
+    print(f"simulating {n_nodes} nodes running newscast "
+          f"(view size {view_size}) for {cycles} cycles...\n")
+
+    engine = CycleEngine(newscast(view_size=view_size), seed=42)
+    random_bootstrap(engine, n_nodes=n_nodes)
+    engine.run(cycles=cycles)
+
+    # -- the peer sampling API, as an application sees it -------------------
+    address = engine.addresses()[0]
+    service = engine.service(address)
+    samples = service.get_peers(10)
+    print(f"node {address} sampled peers: {samples}")
+
+    # Every call draws from the node's current partial view; the overlay
+    # below determines how close this is to uniform sampling.
+
+    # -- overlay analysis ----------------------------------------------------
+    snapshot = GraphSnapshot.from_engine(engine)
+    rng = random.Random(0)
+    measured = {
+        "average_degree": average_degree(snapshot),
+        "clustering": clustering_coefficient(snapshot, sample=None, rng=rng),
+        "average_path_length": average_path_length(
+            snapshot, n_sources=None, rng=rng
+        ),
+    }
+    baseline = random_baseline_metrics(
+        n_nodes, view_size, clustering_sample=None, path_sources=None
+    )
+
+    print(f"\n{'metric':22s} {'newscast overlay':>18s} {'random baseline':>18s}")
+    for key in measured:
+        print(f"{key:22s} {measured[key]:18.4f} {baseline[key]:18.4f}")
+
+    ratio = measured["clustering"] / baseline["clustering"]
+    print(
+        f"\nthe overlay's clustering coefficient is {ratio:.1f}x the random"
+        "\nbaseline while its path length stays comparable: a small-world"
+        "\ntopology, NOT a uniform random graph -- the paper's headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

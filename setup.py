@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e .`` on environments without the ``wheel`` package
+(pip then falls back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

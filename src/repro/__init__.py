@@ -1,0 +1,74 @@
+"""Gossip-based peer sampling service.
+
+A faithful, fully-featured reproduction of
+
+    Jelasity, Guerraoui, Kermarrec, van Steen:
+    "The Peer Sampling Service: Experimental Evaluation of Unstructured
+    Gossip-Based Implementations", Middleware 2004 (LNCS 3231, pp. 79-98).
+
+The package provides:
+
+- :mod:`repro.core` -- the generic gossip protocol skeleton (paper Fig. 1),
+  its three policy dimensions (peer selection, view selection, view
+  propagation) and the two-method peer sampling API (``init`` / ``get_peer``).
+- :mod:`repro.simulation` -- cycle-driven and event-driven simulation
+  engines, network models, churn injection and the paper's three bootstrap
+  scenarios.
+- :mod:`repro.graph` -- graph snapshots of the overlay and the metrics the
+  paper evaluates (degree distribution, clustering coefficient, average path
+  length, connectivity).
+- :mod:`repro.stats` -- time-series statistics (autocorrelation, summaries).
+- :mod:`repro.baselines` -- the ideal uniform random sampler and the random
+  view topology the paper compares against.
+- :mod:`repro.extensions` -- protocols from the paper's related/future work
+  (Cyclon shuffling, SCAMP-style reactive membership, combined second-view
+  services).
+- :mod:`repro.experiments` -- one module per paper table/figure, regenerating
+  the reported rows and series.
+
+Quickstart::
+
+    from repro import CycleEngine, newscast
+    from repro.simulation.scenarios import random_bootstrap
+
+    engine = CycleEngine(newscast(view_size=30), seed=42)
+    random_bootstrap(engine, n_nodes=1000)
+    engine.run(cycles=50)
+    service = engine.service(engine.addresses()[0])
+    print(service.get_peer())
+"""
+
+from repro.core.config import (
+    ALL_PROTOCOLS,
+    STUDIED_PROTOCOLS,
+    ProtocolConfig,
+    lpbcast,
+    newscast,
+)
+from repro.core.descriptor import NodeDescriptor
+from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.core.protocol import GossipNode
+from repro.core.service import PeerSamplingService
+from repro.core.view import PartialView
+from repro.simulation.engine import CycleEngine
+from repro.simulation.event_engine import EventEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "STUDIED_PROTOCOLS",
+    "CycleEngine",
+    "EventEngine",
+    "GossipNode",
+    "NodeDescriptor",
+    "PartialView",
+    "PeerSamplingService",
+    "PeerSelection",
+    "Propagation",
+    "ProtocolConfig",
+    "lpbcast",
+    "newscast",
+    "ViewSelection",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against.
+
+- :mod:`repro.baselines.oracle` -- the *ideal* peer sampling service:
+  independent uniform random draws from full global membership (what the
+  theoretical gossip literature assumes);
+- :mod:`repro.baselines.random_topology` -- the uniform random view
+  topology whose metrics appear as horizontal reference lines in the
+  paper's figures.
+"""
+
+from repro.baselines.oracle import OracleGroup, OracleSamplingService
+from repro.baselines.random_topology import random_baseline_metrics
+
+__all__ = [
+    "OracleGroup",
+    "OracleSamplingService",
+    "random_baseline_metrics",
+]

@@ -1,0 +1,35 @@
+"""Core protocol framework: the paper's primary contribution.
+
+This package implements the generic gossip-based peer sampling skeleton of
+paper Figure 1 together with its three policy dimensions, plus the
+two-method service API (``init`` / ``get_peer``) defined in paper Section 2.
+"""
+
+from repro.core.config import (
+    ALL_PROTOCOLS,
+    STUDIED_PROTOCOLS,
+    ProtocolConfig,
+    lpbcast,
+    newscast,
+)
+from repro.core.descriptor import NodeDescriptor
+from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.core.protocol import GossipNode
+from repro.core.service import PeerSamplingService
+from repro.core.view import PartialView, merge
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "STUDIED_PROTOCOLS",
+    "GossipNode",
+    "NodeDescriptor",
+    "PartialView",
+    "PeerSamplingService",
+    "PeerSelection",
+    "Propagation",
+    "ProtocolConfig",
+    "ViewSelection",
+    "lpbcast",
+    "merge",
+    "newscast",
+]

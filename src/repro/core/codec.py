@@ -1,0 +1,85 @@
+"""Wire codec: serialize descriptors and view messages.
+
+The simulation engines pass descriptor objects by reference, but a real
+deployment ships views over the network.  This module defines a compact,
+versioned JSON wire format for the two message kinds of the protocol
+skeleton (requests and replies are both just descriptor lists), so the
+library's node logic can be dropped behind a real transport.
+
+Addresses are serialized as-is when they are JSON-native (str/int) and
+tagged otherwise via ``repr`` round-tripping is deliberately NOT attempted:
+unsupported address types raise :class:`~repro.core.errors.ReproError`
+rather than silently producing undecodable bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ReproError
+
+WIRE_FORMAT_VERSION = 1
+"""Bumped on any incompatible change to the wire layout."""
+
+_MAX_MESSAGE_BYTES = 1 << 20  # 1 MiB: a view message is a few KiB at most
+
+
+class CodecError(ReproError):
+    """A message could not be encoded or decoded."""
+
+
+def _check_address(address: Address) -> Address:
+    if isinstance(address, (str, int)):
+        return address
+    raise CodecError(
+        f"address {address!r} is not wire-serializable (need str or int)"
+    )
+
+
+def encode_descriptor(descriptor: NodeDescriptor) -> List:
+    """One descriptor as a compact ``[address, hop_count]`` pair."""
+    return [_check_address(descriptor.address), descriptor.hop_count]
+
+
+def decode_descriptor(payload: object) -> NodeDescriptor:
+    """Inverse of :func:`encode_descriptor` (validating the payload)."""
+    if (
+        not isinstance(payload, list)
+        or len(payload) != 2
+        or not isinstance(payload[0], (str, int))
+        or not isinstance(payload[1], int)
+        or payload[1] < 0
+    ):
+        raise CodecError(f"malformed descriptor payload: {payload!r}")
+    return NodeDescriptor(payload[0], payload[1])
+
+
+def encode_message(descriptors: List[NodeDescriptor]) -> bytes:
+    """A full view message (request or reply) as UTF-8 JSON bytes."""
+    body = {
+        "v": WIRE_FORMAT_VERSION,
+        "view": [encode_descriptor(d) for d in descriptors],
+    }
+    return json.dumps(body, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(data: bytes) -> List[NodeDescriptor]:
+    """Inverse of :func:`encode_message` (validating version and shape)."""
+    if len(data) > _MAX_MESSAGE_BYTES:
+        raise CodecError(f"message of {len(data)} bytes exceeds the limit")
+    try:
+        body = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"undecodable message: {exc}") from exc
+    if not isinstance(body, dict):
+        raise CodecError("message body must be an object")
+    if body.get("v") != WIRE_FORMAT_VERSION:
+        raise CodecError(
+            f"unsupported wire format version: {body.get('v')!r}"
+        )
+    view = body.get("view")
+    if not isinstance(view, list):
+        raise CodecError("message is missing its view list")
+    return [decode_descriptor(entry) for entry in view]

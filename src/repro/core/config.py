@@ -1,0 +1,178 @@
+"""Protocol configurations: points in the paper's 3x3x3 design space.
+
+A :class:`ProtocolConfig` fixes the three policies plus the view capacity
+``c``.  The module also names the instances the paper highlights:
+
+- :func:`newscast` -- ``(rand, head, pushpull)`` (paper Section 3);
+- :func:`lpbcast` -- ``(rand, rand, push)``, the membership component of
+  lightweight probabilistic broadcast;
+- :data:`STUDIED_PROTOCOLS` -- the eight instances the evaluation keeps
+  after discarding ``(head,*,*)``, ``(*,tail,*)`` and ``(*,*,pull)``
+  (paper Section 4.3);
+- :data:`ALL_PROTOCOLS` -- the full 27-instance space, used by the
+  preliminary-experiment reproductions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.policies import (
+    PeerSelection,
+    Propagation,
+    ViewSelection,
+    parse_peer_selection,
+    parse_propagation,
+    parse_view_selection,
+)
+
+DEFAULT_VIEW_SIZE = 30
+"""The paper's view capacity ``c`` (Section 4.3)."""
+
+_LABEL_RE = re.compile(
+    r"^\(?\s*(?P<ps>[a-z]+)\s*,\s*(?P<vs>[a-z]+)\s*,\s*(?P<vp>[a-z-]+)\s*\)?$"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ProtocolConfig:
+    """An instance of the generic peer sampling protocol.
+
+    Parameters
+    ----------
+    peer_selection:
+        Which view entry the active thread gossips with.
+    view_selection:
+        Which descriptors survive truncation after a merge.
+    propagation:
+        ``push``, ``pull`` or ``pushpull``.
+    view_size:
+        The view capacity ``c`` (default 30, the paper's setting).
+    keep_self_descriptors:
+        If ``True``, a node's own descriptor may enter its view through
+        merges.  The default ``False`` matches Newscast and the reference
+        implementations; the ablation benchmark quantifies the difference.
+    """
+
+    peer_selection: PeerSelection
+    view_selection: ViewSelection
+    propagation: Propagation
+    view_size: int = DEFAULT_VIEW_SIZE
+    keep_self_descriptors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigurationError(
+                f"view_size must be >= 1, got {self.view_size}"
+            )
+        if not isinstance(self.peer_selection, PeerSelection):
+            raise ConfigurationError(
+                f"peer_selection must be a PeerSelection, got "
+                f"{self.peer_selection!r}"
+            )
+        if not isinstance(self.view_selection, ViewSelection):
+            raise ConfigurationError(
+                f"view_selection must be a ViewSelection, got "
+                f"{self.view_selection!r}"
+            )
+        if not isinstance(self.propagation, Propagation):
+            raise ConfigurationError(
+                f"propagation must be a Propagation, got {self.propagation!r}"
+            )
+
+    # -- convenience ------------------------------------------------------
+
+    @property
+    def push(self) -> bool:
+        """Whether the initiator sends its view (paper's ``push`` flag)."""
+        return self.propagation.push
+
+    @property
+    def pull(self) -> bool:
+        """Whether the initiator receives a view (paper's ``pull`` flag)."""
+        return self.propagation.pull
+
+    @property
+    def label(self) -> str:
+        """The paper's tuple notation, e.g. ``(rand,head,pushpull)``."""
+        return (
+            f"({self.peer_selection.value},{self.view_selection.value},"
+            f"{self.propagation.value})"
+        )
+
+    def replace(self, **changes: object) -> "ProtocolConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_label(
+        cls, label: str, view_size: int = DEFAULT_VIEW_SIZE
+    ) -> "ProtocolConfig":
+        """Parse the paper's tuple notation.
+
+        >>> ProtocolConfig.from_label("(rand,head,pushpull)").label
+        '(rand,head,pushpull)'
+        """
+        match = _LABEL_RE.match(label.strip().lower())
+        if match is None:
+            raise ConfigurationError(f"cannot parse protocol label: {label!r}")
+        try:
+            return cls(
+                peer_selection=parse_peer_selection(match.group("ps")),
+                view_selection=parse_view_selection(match.group("vs")),
+                propagation=parse_propagation(match.group("vp")),
+                view_size=view_size,
+            )
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"cannot parse protocol label: {label!r}"
+            ) from exc
+
+
+def newscast(view_size: int = DEFAULT_VIEW_SIZE) -> ProtocolConfig:
+    """The Newscast protocol: ``(rand, head, pushpull)``."""
+    return ProtocolConfig(
+        PeerSelection.RAND, ViewSelection.HEAD, Propagation.PUSHPULL, view_size
+    )
+
+
+def lpbcast(view_size: int = DEFAULT_VIEW_SIZE) -> ProtocolConfig:
+    """The Lpbcast membership component: ``(rand, rand, push)``."""
+    return ProtocolConfig(
+        PeerSelection.RAND, ViewSelection.RAND, Propagation.PUSH, view_size
+    )
+
+
+def _studied(view_size: int) -> Tuple[ProtocolConfig, ...]:
+    instances = []
+    for ps in (PeerSelection.RAND, PeerSelection.TAIL):
+        for vs in (ViewSelection.HEAD, ViewSelection.RAND):
+            for vp in (Propagation.PUSH, Propagation.PUSHPULL):
+                instances.append(ProtocolConfig(ps, vs, vp, view_size))
+    return tuple(instances)
+
+
+STUDIED_PROTOCOLS: Tuple[ProtocolConfig, ...] = _studied(DEFAULT_VIEW_SIZE)
+"""The eight instances retained by the paper's evaluation (Section 4.3)."""
+
+
+def studied_protocols(view_size: int = DEFAULT_VIEW_SIZE) -> Tuple[ProtocolConfig, ...]:
+    """The eight studied instances at an arbitrary view size."""
+    return _studied(view_size)
+
+
+def iter_all_protocols(
+    view_size: int = DEFAULT_VIEW_SIZE,
+) -> Iterator[ProtocolConfig]:
+    """Iterate over the full 27-instance design space."""
+    for ps in PeerSelection:
+        for vs in ViewSelection:
+            for vp in Propagation:
+                yield ProtocolConfig(ps, vs, vp, view_size)
+
+
+ALL_PROTOCOLS: Tuple[ProtocolConfig, ...] = tuple(iter_all_protocols())
+"""All 27 combinations of the three policy dimensions at the paper's ``c``."""

@@ -1,0 +1,85 @@
+"""Node descriptors: the unit of membership information.
+
+A *node descriptor* (paper Section 3, "System model") couples a node's
+address with a **hop count**.  A freshly injected descriptor has hop count 0;
+every time a view crosses the network the hop counts of all its descriptors
+are incremented by one (``increaseHopCount`` in the paper's skeleton).  The
+hop count therefore measures how long ago -- in gossip exchanges -- the
+descriptor's owner was known to be alive, and it induces the ordering that
+the ``head``/``tail`` policies rely on.
+
+Addresses are opaque hashable values.  The simulation engines use small
+integers for speed, but nothing in this module depends on that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List
+
+Address = Hashable
+"""Type alias for node addresses: any hashable value."""
+
+
+class NodeDescriptor:
+    """An ``(address, hop_count)`` pair describing one known peer.
+
+    Instances are small mutable records: the hop count is incremented in
+    place when a message is received (the receiving side owns the message
+    payload; see :meth:`copy` for the ownership contract).
+
+    Parameters
+    ----------
+    address:
+        The address of the described node.
+    hop_count:
+        Age of the descriptor in network hops.  ``0`` means "created by the
+        described node in the current exchange".
+    """
+
+    __slots__ = ("address", "hop_count")
+
+    def __init__(self, address: Address, hop_count: int = 0) -> None:
+        if hop_count < 0:
+            raise ValueError(f"hop_count must be >= 0, got {hop_count}")
+        self.address = address
+        self.hop_count = hop_count
+
+    def copy(self) -> "NodeDescriptor":
+        """Return an independent copy of this descriptor.
+
+        Views copy descriptors whenever they are placed in a message buffer,
+        so that the sender's view and the in-flight message never share
+        mutable state.  The receiver then owns the payload and may increment
+        hop counts in place.
+        """
+        return NodeDescriptor(self.address, self.hop_count)
+
+    def aged(self, increment: int = 1) -> "NodeDescriptor":
+        """Return a copy of this descriptor with an incremented hop count."""
+        return NodeDescriptor(self.address, self.hop_count + increment)
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, NodeDescriptor):
+            return NotImplemented
+        return self.address == other.address and self.hop_count == other.hop_count
+
+    def __hash__(self) -> int:
+        return hash((self.address, self.hop_count))
+
+    def __repr__(self) -> str:
+        return f"NodeDescriptor({self.address!r}, hop_count={self.hop_count})"
+
+
+def increase_hop_count(descriptors: Iterable[NodeDescriptor]) -> None:
+    """Increment the hop count of every descriptor, in place.
+
+    This is the paper's ``increaseHopCount(view)`` call, applied by the
+    receiving side to every incoming view before merging it.
+    """
+    for descriptor in descriptors:
+        descriptor.hop_count += 1
+
+
+def copy_all(descriptors: Iterable[NodeDescriptor]) -> List[NodeDescriptor]:
+    """Return independent copies of ``descriptors`` (message serialization)."""
+    return [d.copy() for d in descriptors]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the peer sampling library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid protocol or simulation configuration was supplied."""
+
+
+class ViewError(ReproError):
+    """An operation on a partial view violated one of its invariants."""
+
+
+class NodeNotFoundError(ReproError):
+    """An operation referenced a node address unknown to the engine."""
+
+    def __init__(self, address: object) -> None:
+        super().__init__(f"unknown node address: {address!r}")
+        self.address = address
+
+
+class NotInitializedError(ReproError):
+    """The peer sampling service was used before ``init()`` was called."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

@@ -1,0 +1,125 @@
+"""The three policy dimensions of the generic protocol (paper Section 3).
+
+Each gossip-based peer sampling instance is a point in a three-dimensional
+design space:
+
+- **peer selection** (:class:`PeerSelection`): which view entry to open an
+  exchange with -- uniformly random, the freshest (``head``, lowest hop
+  count) or the oldest (``tail``, highest hop count);
+- **view selection** (:class:`ViewSelection`): which ``c`` descriptors
+  survive when a merge buffer is truncated back to the view capacity;
+- **view propagation** (:class:`Propagation`): whether views travel from the
+  initiator to the selected peer (``push``), the other way (``pull``) or
+  both ways (``pushpull``).
+
+The enums carry their paper names as values so that protocol labels such as
+``(rand,head,pushpull)`` round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.descriptor import NodeDescriptor
+from repro.core.view import PartialView, select_head, select_rand, select_tail
+
+
+class PeerSelection(str, enum.Enum):
+    """How the active thread picks the exchange partner from its view."""
+
+    RAND = "rand"
+    HEAD = "head"
+    TAIL = "tail"
+
+    def select(
+        self, view: PartialView, rng: random.Random
+    ) -> Optional[NodeDescriptor]:
+        """Pick a descriptor from ``view`` according to this policy.
+
+        Returns ``None`` when the view is empty (a node with no known peers
+        skips its turn; the paper's ``getPeer`` contract only requires a
+        result when the group has more than one member).
+        """
+        if self is PeerSelection.RAND:
+            return view.random_entry(rng)
+        if self is PeerSelection.HEAD:
+            return view.head()
+        return view.tail()
+
+    def select_from(
+        self, entries: Sequence[NodeDescriptor], rng: random.Random
+    ) -> Optional[NodeDescriptor]:
+        """Pick from an explicit hop-count-ordered candidate list.
+
+        Used when peer selection is restricted to a subset of the view
+        (the paper specifies that ``selectPeer()`` "returns the address of
+        a *live* node as found in the caller's current view", so engines
+        filter out entries of crashed nodes before selecting).
+        """
+        if not entries:
+            return None
+        if self is PeerSelection.RAND:
+            return rng.choice(entries)
+        if self is PeerSelection.HEAD:
+            return entries[0]
+        return entries[-1]
+
+
+class ViewSelection(str, enum.Enum):
+    """How a merge buffer is truncated back to the view capacity ``c``."""
+
+    RAND = "rand"
+    HEAD = "head"
+    TAIL = "tail"
+
+    def select(
+        self,
+        buffer: Sequence[NodeDescriptor],
+        c: int,
+        rng: random.Random,
+    ) -> List[NodeDescriptor]:
+        """Keep at most ``c`` descriptors of ``buffer`` under this policy."""
+        if self is ViewSelection.RAND:
+            return select_rand(buffer, c, rng)
+        if self is ViewSelection.HEAD:
+            return select_head(buffer, c)
+        return select_tail(buffer, c)
+
+
+class Propagation(str, enum.Enum):
+    """Direction(s) in which view content travels during one exchange."""
+
+    PUSH = "push"
+    PULL = "pull"
+    PUSHPULL = "pushpull"
+
+    @property
+    def push(self) -> bool:
+        """Whether the initiator sends its view to the selected peer."""
+        return self in (Propagation.PUSH, Propagation.PUSHPULL)
+
+    @property
+    def pull(self) -> bool:
+        """Whether the initiator receives the selected peer's view."""
+        return self in (Propagation.PULL, Propagation.PUSHPULL)
+
+
+def parse_peer_selection(name: str) -> PeerSelection:
+    """Parse a peer selection policy from its paper name."""
+    return PeerSelection(name.strip().lower())
+
+
+def parse_view_selection(name: str) -> ViewSelection:
+    """Parse a view selection policy from its paper name."""
+    return ViewSelection(name.strip().lower())
+
+
+def parse_propagation(name: str) -> Propagation:
+    """Parse a propagation mode from its paper name.
+
+    Accepts the paper's ``pushpull`` as well as the common ``push-pull``
+    spelling.
+    """
+    return Propagation(name.strip().lower().replace("-", "").replace("_", ""))

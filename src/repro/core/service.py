@@ -1,0 +1,108 @@
+"""The peer sampling service API (paper Section 2).
+
+The service consists of exactly two methods:
+
+- ``init()`` -- initialize the service on a node (here: seed its view with
+  one or more contact addresses; the paper solves bootstrap out of band);
+- ``getPeer()`` -- return the address of a peer drawn from the group.
+
+:class:`PeerSamplingService` wraps a :class:`~repro.core.protocol.GossipNode`
+and implements ``getPeer`` as a uniform random draw from the node's current
+partial view -- the paper's baseline implementation.  There is deliberately
+no ``stop()``: departed nodes simply stop gossiping and their descriptors
+age out of other views (paper Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import NotInitializedError
+from repro.core.protocol import GossipNode
+
+
+class PeerSamplingService:
+    """The two-method API on top of one gossip node.
+
+    Multiple gossip applications on the same node are expected to share a
+    single service instance (paper Section 2: the service can be "utilized
+    by multiple gossip protocols simultaneously").
+    """
+
+    __slots__ = ("_node", "_initialized")
+
+    def __init__(self, node: GossipNode) -> None:
+        self._node = node
+        self._initialized = len(node.view) > 0
+
+    @property
+    def node(self) -> GossipNode:
+        """The underlying gossip node (exposed for instrumentation)."""
+        return self._node
+
+    @property
+    def address(self) -> Address:
+        """The address of the node this service runs on."""
+        return self._node.address
+
+    @property
+    def initialized(self) -> bool:
+        """Whether ``init`` has been called (or the view was pre-seeded)."""
+        return self._initialized
+
+    def init(self, contacts: Iterable[Address] = ()) -> None:
+        """Initialize the service with zero or more contact addresses.
+
+        Contacts enter the view with hop count 0.  Calling ``init`` again is
+        a no-op (the paper: "initializes the service ... if this has not
+        been done before").
+        """
+        if self._initialized:
+            return
+        entries: List[NodeDescriptor] = list(self._node.view)
+        for contact in contacts:
+            if contact == self._node.address:
+                continue
+            entries.append(NodeDescriptor(contact, 0))
+        capacity = self._node.view.capacity
+        self._node.view.replace(entries[:capacity])
+        self._initialized = True
+
+    def get_peer(self) -> Optional[Address]:
+        """Return a sampled peer address.
+
+        Raises
+        ------
+        NotInitializedError
+            If ``init`` was never called and the view was never seeded.
+
+        Returns
+        -------
+        Address or None
+            ``None`` when the node currently knows no peer (e.g. a group of
+            size one); an address drawn uniformly at random from the current
+            view otherwise.  The *distribution* of repeated calls is exactly
+            what the paper's evaluation characterizes: close to, but not,
+            uniform over the group.
+        """
+        if not self._initialized:
+            raise NotInitializedError(
+                "PeerSamplingService.get_peer() called before init()"
+            )
+        return self._node.sample_peer()
+
+    def get_peers(self, count: int) -> List[Address]:
+        """Sample ``count`` peers by repeated ``get_peer`` calls.
+
+        Convenience wrapper for applications needing several peers (the
+        paper notes applications "can call this method repeatedly");
+        duplicates are possible, exactly as with repeated calls.
+        """
+        samples: List[Address] = []
+        for _ in range(count):
+            peer = self.get_peer()
+            if peer is None:
+                break
+            samples.append(peer)
+        return samples

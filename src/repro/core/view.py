@@ -1,0 +1,210 @@
+"""Partial views: bounded, hop-count-ordered membership tables.
+
+Paper Section 3 ("System model") defines the view as "a list with at most
+one descriptor per node and ordered according to increasing hop count".
+This module implements that list together with the two primitive operations
+the protocol skeleton needs:
+
+- :func:`merge` -- the paper's ``merge(view1, view2)``: the union of two
+  descriptor collections, keeping for each address only the descriptor with
+  the lowest hop count, re-ordered by increasing hop count.
+- the three *view selection* truncations (``head`` / ``tail`` / ``rand``)
+  that cut a merge buffer back to the view capacity ``c``.
+
+Ordering note: hop counts are not necessarily distinct, so "the first c
+elements" is not uniquely defined by the ordering alone (the paper makes the
+same observation).  We use a stable sort, which makes the outcome
+deterministic given the merge input order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ViewError
+
+
+def _by_hop_count(descriptor: NodeDescriptor) -> int:
+    return descriptor.hop_count
+
+
+def merge(
+    *collections: Iterable[NodeDescriptor],
+    exclude: Optional[Address] = None,
+) -> List[NodeDescriptor]:
+    """Merge descriptor collections into a single hop-count-ordered buffer.
+
+    For each address the descriptor with the **lowest** hop count wins; on an
+    exact hop-count tie the earliest occurrence wins.  The result is sorted
+    by increasing hop count (stable, so first-seen order breaks ties).
+
+    Parameters
+    ----------
+    collections:
+        Any number of descriptor iterables.  Earlier collections take
+        precedence on ties, matching the paper's ``merge(viewp, view)``
+        argument order.
+    exclude:
+        Optional address to drop from the result.  Nodes pass their own
+        address here so that self-descriptors never enter their view.
+
+    Returns
+    -------
+    list[NodeDescriptor]
+        A new buffer; the input descriptors themselves are *not* copied, so
+        callers that need independent storage must copy first.
+    """
+    best: Dict[Address, NodeDescriptor] = {}
+    for collection in collections:
+        for descriptor in collection:
+            address = descriptor.address
+            if address == exclude:
+                continue
+            current = best.get(address)
+            if current is None or descriptor.hop_count < current.hop_count:
+                best[address] = descriptor
+    buffer = list(best.values())
+    buffer.sort(key=_by_hop_count)
+    return buffer
+
+
+def select_head(buffer: Sequence[NodeDescriptor], c: int) -> List[NodeDescriptor]:
+    """Keep the first ``c`` elements: the lowest (freshest) hop counts."""
+    return list(buffer[:c])
+
+
+def select_tail(buffer: Sequence[NodeDescriptor], c: int) -> List[NodeDescriptor]:
+    """Keep the last ``c`` elements: the highest (oldest) hop counts."""
+    if len(buffer) <= c:
+        return list(buffer)
+    return list(buffer[len(buffer) - c :])
+
+
+def select_rand(
+    buffer: Sequence[NodeDescriptor], c: int, rng: random.Random
+) -> List[NodeDescriptor]:
+    """Keep a uniform random subset of ``c`` elements, re-ordered by hop count."""
+    if len(buffer) <= c:
+        return list(buffer)
+    chosen = rng.sample(list(buffer), c)
+    chosen.sort(key=_by_hop_count)
+    return chosen
+
+
+class PartialView:
+    """A node's bounded membership table (the paper's *view*).
+
+    Invariants maintained by every public mutator:
+
+    - at most :attr:`capacity` descriptors;
+    - at most one descriptor per address;
+    - entries ordered by non-decreasing hop count.
+
+    The view does not know its owner's address; callers are responsible for
+    excluding self-descriptors (the :class:`~repro.core.protocol.GossipNode`
+    does this via the ``exclude`` argument of :func:`merge`).
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(
+        self,
+        capacity: int,
+        entries: Iterable[NodeDescriptor] = (),
+    ) -> None:
+        if capacity < 1:
+            raise ViewError(f"view capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        merged = merge(entries)
+        if len(merged) > capacity:
+            raise ViewError(
+                f"{len(merged)} distinct descriptors exceed capacity {capacity}"
+            )
+        self._entries: List[NodeDescriptor] = merged
+
+    # -- read access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[NodeDescriptor]:
+        return iter(self._entries)
+
+    def __contains__(self, address: Address) -> bool:
+        return any(d.address == address for d in self._entries)
+
+    def __repr__(self) -> str:
+        return f"PartialView(capacity={self.capacity}, size={len(self._entries)})"
+
+    @property
+    def entries(self) -> List[NodeDescriptor]:
+        """The current descriptors, ordered by increasing hop count.
+
+        The returned list is a shallow copy; mutating it does not affect the
+        view (but mutating the descriptors inside it would -- copy them via
+        :func:`repro.core.descriptor.copy_all` if needed).
+        """
+        return list(self._entries)
+
+    def addresses(self) -> List[Address]:
+        """All addresses currently in the view, in hop-count order."""
+        return [d.address for d in self._entries]
+
+    def descriptor_for(self, address: Address) -> Optional[NodeDescriptor]:
+        """The descriptor stored for ``address``, or ``None``."""
+        for descriptor in self._entries:
+            if descriptor.address == address:
+                return descriptor
+        return None
+
+    def is_full(self) -> bool:
+        """Whether the view holds ``capacity`` descriptors."""
+        return len(self._entries) >= self.capacity
+
+    def head(self) -> Optional[NodeDescriptor]:
+        """The descriptor with the lowest hop count, or ``None`` if empty."""
+        return self._entries[0] if self._entries else None
+
+    def tail(self) -> Optional[NodeDescriptor]:
+        """The descriptor with the highest hop count, or ``None`` if empty."""
+        return self._entries[-1] if self._entries else None
+
+    def random_entry(self, rng: random.Random) -> Optional[NodeDescriptor]:
+        """A uniformly random descriptor, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        return rng.choice(self._entries)
+
+    # -- mutation ---------------------------------------------------------
+
+    def replace(self, entries: Iterable[NodeDescriptor]) -> None:
+        """Adopt ``entries`` as the new view content.
+
+        The entries are deduplicated, hop-count ordered and must fit the
+        capacity (callers truncate with a view-selection policy first).
+        """
+        merged = merge(entries)
+        if len(merged) > self.capacity:
+            raise ViewError(
+                f"{len(merged)} descriptors exceed view capacity {self.capacity}"
+            )
+        self._entries = merged
+
+    def increase_hop_counts(self) -> None:
+        """Increment every stored descriptor's hop count in place."""
+        for descriptor in self._entries:
+            descriptor.hop_count += 1
+
+    def remove(self, address: Address) -> bool:
+        """Drop the descriptor for ``address``; return whether it existed."""
+        for index, descriptor in enumerate(self._entries):
+            if descriptor.address == address:
+                del self._entries[index]
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every descriptor."""
+        self._entries.clear()

@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes
+
+- ``run(scale=None, seed=0)`` returning a result dataclass, and
+- ``report(result)`` rendering the paper's rows/series as plain text.
+
+Scales (``quick`` / ``default`` / ``full``) are defined in
+:mod:`repro.experiments.common`; ``full`` matches the paper's parameters
+(N = 10^4, c = 30, 300 cycles, 100 runs), the others shrink the network
+while preserving all qualitative results.  Select via the ``REPRO_SCALE``
+environment variable or the ``--scale`` CLI flag of
+``python -m repro.experiments.runner``.
+"""
+
+from repro.experiments.common import (
+    SCALES,
+    Scale,
+    current_scale,
+)
+
+__all__ = ["SCALES", "Scale", "current_scale"]
+
+EXPERIMENT_IDS = (
+    "table1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "table2",
+    "figure5",
+    "figure6",
+    "figure7",
+)
+"""All reproducible paper artefacts, in paper order."""

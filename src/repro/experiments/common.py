@@ -1,0 +1,190 @@
+"""Shared experiment infrastructure: scales, protocol sets, run helpers.
+
+The paper's full parameters (N = 10^4, c = 30, 300 cycles, 100 repetitions)
+are expensive in pure Python, so every experiment accepts a :class:`Scale`.
+``full`` is the paper; ``default`` and ``quick`` shrink N, the cycle count
+and the repetition count while keeping every qualitative conclusion intact
+(see DESIGN.md Section 5 for the substitution argument).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.simulation.engine import CycleEngine
+
+SCALE_ENV_VAR = "REPRO_SCALE"
+"""Environment variable selecting the default scale preset."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """Size parameters for one experiment run."""
+
+    name: str
+    n_nodes: int
+    view_size: int
+    cycles: int
+    """The paper's 300-cycle horizon, scaled."""
+    growth_cycles: int
+    """Cycles over which the growing scenario adds nodes (paper: 100)."""
+    runs: int
+    """Repetitions for statistics (paper: 100)."""
+    traced_nodes: int
+    """Degree-traced nodes for Table 2 / Figure 5 (paper: 50)."""
+    removal_repeats: int
+    """Repetitions per removal fraction in Figure 6 (paper: 100)."""
+    metrics_every: int
+    """Record topology metrics every this many cycles."""
+    clustering_sample: Optional[int]
+    """Node sample for clustering estimates (None = exact)."""
+    path_sources: Optional[int]
+    """BFS sources for path-length estimates (None = exact)."""
+
+    @property
+    def growth_rate(self) -> int:
+        """Joins per cycle in the growing scenario."""
+        return max(1, -(-self.n_nodes // self.growth_cycles))  # ceil division
+
+
+SCALES: Dict[str, Scale] = {
+    # Scaled presets keep the paper's critical proportion for the growing
+    # scenario: the join rate is ~3.3x the view size (paper: 100 joins per
+    # cycle vs c = 30), which is what makes the contact node's view
+    # overflow and the push-only protocols partition (Table 1).
+    "quick": Scale(
+        name="quick",
+        n_nodes=500,
+        view_size=12,
+        cycles=90,
+        growth_cycles=13,
+        runs=8,
+        traced_nodes=20,
+        removal_repeats=10,
+        metrics_every=3,
+        clustering_sample=150,
+        path_sources=25,
+    ),
+    "default": Scale(
+        name="default",
+        n_nodes=1000,
+        view_size=15,
+        cycles=150,
+        growth_cycles=20,
+        runs=20,
+        traced_nodes=50,
+        removal_repeats=30,
+        metrics_every=5,
+        clustering_sample=400,
+        path_sources=40,
+    ),
+    "full": Scale(
+        name="full",
+        n_nodes=10_000,
+        view_size=30,
+        cycles=300,
+        growth_cycles=100,
+        runs=100,
+        traced_nodes=50,
+        removal_repeats=100,
+        metrics_every=10,
+        clustering_sample=1000,
+        path_sources=50,
+    ),
+}
+
+
+def current_scale(name: Optional[str] = None) -> Scale:
+    """Resolve a scale by explicit name, ``$REPRO_SCALE``, or ``quick``."""
+    if name is None:
+        name = os.environ.get(SCALE_ENV_VAR, "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+# -- protocol sets, as the paper groups them ------------------------------------
+
+
+def studied_protocols(view_size: int) -> Tuple[ProtocolConfig, ...]:
+    """The eight instances of the main evaluation (paper Section 4.3)."""
+    instances = []
+    for ps in (PeerSelection.RAND, PeerSelection.TAIL):
+        for vs in (ViewSelection.HEAD, ViewSelection.RAND):
+            for vp in (Propagation.PUSH, Propagation.PUSHPULL):
+                instances.append(ProtocolConfig(ps, vs, vp, view_size))
+    return tuple(instances)
+
+
+def push_protocols(view_size: int) -> Tuple[ProtocolConfig, ...]:
+    """The four push-only instances of Table 1, in the paper's row order."""
+    return (
+        ProtocolConfig(
+            PeerSelection.RAND, ViewSelection.HEAD, Propagation.PUSH, view_size
+        ),
+        ProtocolConfig(
+            PeerSelection.RAND, ViewSelection.RAND, Propagation.PUSH, view_size
+        ),
+        ProtocolConfig(
+            PeerSelection.TAIL, ViewSelection.HEAD, Propagation.PUSH, view_size
+        ),
+        ProtocolConfig(
+            PeerSelection.TAIL, ViewSelection.RAND, Propagation.PUSH, view_size
+        ),
+    )
+
+
+def growing_plot_protocols(view_size: int) -> Tuple[ProtocolConfig, ...]:
+    """The six instances plotted in Figure 2 (the two unstable
+    ``(*,head,push)`` ones are excluded there, as in the paper)."""
+    labels = (
+        "(rand,rand,push)",
+        "(tail,rand,push)",
+        "(rand,rand,pushpull)",
+        "(tail,rand,pushpull)",
+        "(rand,head,pushpull)",
+        "(tail,head,pushpull)",
+    )
+    return tuple(
+        ProtocolConfig.from_label(label, view_size) for label in labels
+    )
+
+
+def autocorrelation_protocols(view_size: int) -> Tuple[ProtocolConfig, ...]:
+    """The four rand-peer-selection instances plotted in Figure 5."""
+    labels = (
+        "(rand,rand,push)",
+        "(rand,rand,pushpull)",
+        "(rand,head,push)",
+        "(rand,head,pushpull)",
+    )
+    return tuple(
+        ProtocolConfig.from_label(label, view_size) for label in labels
+    )
+
+
+# -- run helpers ------------------------------------------------------------------
+
+
+def converged_engine(
+    config: ProtocolConfig, scale: Scale, seed: int
+) -> CycleEngine:
+    """An engine bootstrapped randomly and run for ``scale.cycles`` cycles.
+
+    This is the "converged overlay in cycle 300 of the random
+    initialization scenario" that Sections 6 and 7 start from.
+    """
+    from repro.simulation.scenarios import random_bootstrap
+
+    engine = CycleEngine(config, seed=seed)
+    random_bootstrap(engine, n_nodes=scale.n_nodes)
+    engine.run(scale.cycles)
+    return engine

@@ -1,0 +1,121 @@
+"""Figure 6: robustness of converged overlays to massive node removal.
+
+From the converged overlay (cycle 300 of the random scenario) the paper
+removes a growing fraction of random nodes and plots the average number of
+nodes left *outside the largest connected cluster* (log scale), averaged
+over 100 repetitions, for all eight protocols.
+
+Qualitative shape to reproduce:
+
+- no partitioning at all below roughly 70% removal (the paper observed
+  none in 800 experiments up to 69%);
+- beyond that, the curves rise steeply but stay small relative to the
+  surviving population: even when partitioning occurs, almost all nodes
+  remain in one giant cluster (classic random-graph behaviour);
+- all eight protocols behave consistently (no dramatic outlier).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    Scale,
+    converged_engine,
+    current_scale,
+    studied_protocols,
+)
+from repro.experiments.reporting import format_series
+from repro.graph.components import component_sizes
+from repro.graph.snapshot import GraphSnapshot
+
+REMOVAL_FRACTIONS = (0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+"""The x-axis of Figure 6."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure6Result:
+    """Mean nodes-outside-largest-cluster per removal fraction."""
+
+    scale: Scale
+    fractions: List[float]
+    outside: Dict[str, List[float]]
+    """Protocol label -> mean count per fraction."""
+    first_partition_fraction: Dict[str, Optional[float]]
+    """Smallest tested fraction at which any repetition partitioned."""
+
+
+def _run_one(
+    config, scale: Scale, seed: int
+) -> tuple:
+    import random as random_module
+
+    engine = converged_engine(config, scale, seed)
+    snapshot = GraphSnapshot.from_engine(engine)
+    rng = random_module.Random(seed + 1)
+    means: List[float] = []
+    first_partition: Optional[float] = None
+    for fraction in REMOVAL_FRACTIONS:
+        removals = int(round(snapshot.n * fraction))
+        total_outside = 0
+        for _ in range(scale.removal_repeats):
+            victims = rng.sample(snapshot.addresses, removals)
+            remaining = snapshot.remove_nodes(victims)
+            sizes = component_sizes(remaining)
+            outside = sum(sizes[1:]) if sizes else 0
+            total_outside += outside
+            if outside > 0 and first_partition is None:
+                first_partition = fraction
+        means.append(total_outside / scale.removal_repeats)
+    return means, first_partition
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0) -> Figure6Result:
+    """Reproduce Figure 6 at the given scale."""
+    if scale is None:
+        scale = current_scale()
+    outside: Dict[str, List[float]] = {}
+    first: Dict[str, Optional[float]] = {}
+    for index, config in enumerate(studied_protocols(scale.view_size)):
+        means, first_partition = _run_one(
+            config, scale, seed * 27_644_437 + index
+        )
+        outside[config.label] = means
+        first[config.label] = first_partition
+    return Figure6Result(
+        scale=scale,
+        fractions=list(REMOVAL_FRACTIONS),
+        outside=outside,
+        first_partition_fraction=first,
+    )
+
+
+def report(result: Figure6Result) -> str:
+    """Render the curves plus the first-partition summary."""
+    columns = list(result.outside.items())
+    series = format_series(
+        "removed",
+        [f"{f:.0%}" for f in result.fractions],
+        columns,
+        precision=2,
+        title=(
+            f"Figure 6 -- avg nodes outside the largest cluster after "
+            f"random removal (scale={result.scale.name}, "
+            f"{result.scale.removal_repeats} repeats)"
+        ),
+    )
+    lines = ["", "first removal fraction with any partitioning:"]
+    for label, fraction in result.first_partition_fraction.items():
+        rendered = f"{fraction:.0%}" if fraction is not None else "never"
+        lines.append(f"  {label:24s} {rendered}")
+    return series + "\n" + "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run and print at the ambient scale."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

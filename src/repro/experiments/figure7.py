@@ -1,0 +1,155 @@
+"""Figure 7: self-healing after a massive failure.
+
+At cycle 300 of the random scenario, half of all nodes crash; on average
+half of every surviving view now consists of *dead links*.  The paper
+tracks the total number of dead links per cycle afterwards, in two panels:
+
+- the four head-view-selection protocols drop from tens of thousands of
+  dead links to zero within a few dozen cycles (exponentially fast,
+  pushpull fastest -- the ``(*,head,pushpull)`` curves "fully overlap");
+- the four rand-view-selection protocols decay linearly at best;
+  ``(tail,rand,push)`` even *increases* its dead-link count.
+
+The report adds a decay classification (cycles to halve the initial count
+and residual fraction at the end of the window) that makes the exponential
+vs linear distinction explicit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import (
+    Scale,
+    converged_engine,
+    current_scale,
+    studied_protocols,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.simulation.churn import massive_failure
+
+FAILURE_FRACTION = 0.5
+"""The paper's failure size: 50% of all nodes."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HealingSeries:
+    """Dead-link counts per cycle after the failure, for one protocol."""
+
+    label: str
+    cycles: List[int]
+    """Cycle indices relative to the failure (1 = first cycle after)."""
+    dead_links: List[int]
+    initial_dead_links: int
+    """Dead links immediately after the crash, before any healing cycle."""
+
+    @property
+    def half_life(self) -> Optional[int]:
+        """First cycle when dead links fell below half the initial count."""
+        threshold = self.initial_dead_links / 2
+        for cycle, count in zip(self.cycles, self.dead_links):
+            if count <= threshold:
+                return cycle
+        return None
+
+    @property
+    def residual_fraction(self) -> float:
+        """Dead links at the end of the window / initial dead links."""
+        if not self.dead_links or self.initial_dead_links == 0:
+            return 0.0
+        return self.dead_links[-1] / self.initial_dead_links
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure7Result:
+    """Healing series for all protocols."""
+
+    scale: Scale
+    healing_cycles: int
+    series: List[HealingSeries]
+
+
+def _run_one(config, scale: Scale, healing_cycles: int, seed: int) -> HealingSeries:
+    engine = converged_engine(config, scale, seed)
+    massive_failure(engine, FAILURE_FRACTION)
+    initial = engine.dead_link_count()
+    cycles: List[int] = []
+    dead: List[int] = []
+    for cycle in range(1, healing_cycles + 1):
+        engine.run_cycle()
+        cycles.append(cycle)
+        dead.append(engine.dead_link_count())
+    return HealingSeries(
+        label=config.label,
+        cycles=cycles,
+        dead_links=dead,
+        initial_dead_links=initial,
+    )
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0) -> Figure7Result:
+    """Reproduce Figure 7 at the given scale."""
+    if scale is None:
+        scale = current_scale()
+    healing_cycles = max(30, scale.cycles // 2)
+    series = [
+        _run_one(config, scale, healing_cycles, seed * 6_700_417 + index)
+        for index, config in enumerate(studied_protocols(scale.view_size))
+    ]
+    # Present the paper's two panels: head protocols first, then rand.
+    head = [s for s in series if ",head," in s.label]
+    rand = [s for s in series if ",rand," in s.label]
+    return Figure7Result(
+        scale=scale, healing_cycles=healing_cycles, series=head + rand
+    )
+
+
+def report(result: Figure7Result) -> str:
+    """Render both panels plus the decay classification."""
+    head = [s for s in result.series if ",head," in s.label]
+    rand = [s for s in result.series if ",rand," in s.label]
+    blocks: List[str] = []
+    for panel, name in ((head, "head view selection"), (rand, "rand view selection")):
+        columns = [(s.label, s.dead_links) for s in panel]
+        blocks.append(
+            format_series(
+                "cycle",
+                panel[0].cycles,
+                columns,
+                precision=0,
+                title=(
+                    f"Figure 7 ({name}) -- dead links after a "
+                    f"{FAILURE_FRACTION:.0%} crash "
+                    f"(scale={result.scale.name})"
+                ),
+                max_rows=12,
+            )
+        )
+    rows: List[Sequence[object]] = []
+    for s in result.series:
+        rows.append(
+            [
+                s.label,
+                s.initial_dead_links,
+                s.half_life if s.half_life is not None else "never",
+                f"{s.residual_fraction:.1%}",
+            ]
+        )
+    blocks.append(
+        format_table(
+            ["protocol", "initial dead links", "half-life (cycles)", "residual"],
+            rows,
+            title="healing summary",
+        )
+    )
+    return "\n\n".join(blocks)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run and print at the ambient scale."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""CLI runner: regenerate any paper artefact from the command line.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run table1 --scale quick
+    repro-experiments run all --scale full --seed 7
+    python -m repro.experiments.runner run figure7
+
+``--scale`` overrides the ``REPRO_SCALE`` environment variable; ``full``
+is the paper's parameterization (slow in pure Python -- expect hours).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.experiments.common import SCALES, current_scale
+
+_DESCRIPTIONS = {
+    "table1": "partitioning of push protocols in the growing scenario",
+    "figure2": "topology dynamics while the overlay grows",
+    "figure3": "convergence from lattice and random starts",
+    "figure4": "degree distribution evolution (log-log)",
+    "table2": "degree dynamics of individual nodes",
+    "figure5": "autocorrelation of a node's degree",
+    "figure6": "connectivity under massive node removal",
+    "figure7": "self-healing after a 50% crash",
+}
+
+
+def run_experiment(experiment_id: str, scale_name: Optional[str], seed: int) -> str:
+    """Run one experiment and return its text report."""
+    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    scale = current_scale(scale_name)
+    result = module.run(scale=scale, seed=seed)
+    return module.report(result)
+
+
+def _cmd_list() -> int:
+    print("available experiments (paper artefacts):")
+    for experiment_id in EXPERIMENT_IDS:
+        print(f"  {experiment_id:10s} {_DESCRIPTIONS[experiment_id]}")
+    print(f"\nscales: {', '.join(SCALES)} (select with --scale or $REPRO_SCALE)")
+    return 0
+
+
+def _cmd_run(ids: List[str], scale_name: Optional[str], seed: int) -> int:
+    if ids == ["all"]:
+        ids = list(EXPERIMENT_IDS)
+    unknown = [i for i in ids if i not in EXPERIMENT_IDS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENT_IDS)} or 'all'", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        started = time.perf_counter()
+        report = run_experiment(experiment_id, scale_name, seed)
+        elapsed = time.perf_counter() - started
+        print(report)
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the peer "
+        "sampling paper (Jelasity et al., Middleware 2004).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "ids",
+        nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENT_IDS)}) or 'all'",
+    )
+    run_parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="scale preset (default: $REPRO_SCALE or 'quick')",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="base random seed (default 0)"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.ids, args.scale, args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

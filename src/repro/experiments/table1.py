@@ -1,0 +1,149 @@
+"""Table 1: partitioning of push protocols in the growing scenario.
+
+The paper grows the overlay from a single node (100 joins per cycle up to
+10^4, each joiner knowing only the oldest node) and reports, for the four
+push-only protocols, the percentage of partitioned runs at cycle 300, and
+-- over the partitioned runs -- the average number of clusters and the
+average size of the largest cluster.
+
+Paper values (Table 1)::
+
+    protocol            partitioned  avg clusters  avg largest cluster
+    (rand,head,push)    100%         58.36         4112.09
+    (rand,rand,push)    33%          2.27          9572.18
+    (tail,head,push)    100%         38.19         7150.52
+    (tail,rand,push)    1%           2.00          9941.00
+
+The qualitative claims to reproduce: head view selection partitions (into
+many clusters) essentially always, rand view selection only occasionally
+(into two clusters, one huge); pushpull never partitions (checked by the
+companion assertion in the integration tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.experiments.common import Scale, current_scale, push_protocols
+from repro.experiments.reporting import format_table
+from repro.graph.components import component_sizes
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import start_growing
+
+PAPER_REFERENCE = {
+    "(rand,head,push)": (1.00, 58.36, 4112.09),
+    "(rand,rand,push)": (0.33, 2.27, 9572.18),
+    "(tail,head,push)": (1.00, 38.19, 7150.52),
+    "(tail,rand,push)": (0.01, 2.00, 9941.00),
+}
+"""Paper Table 1: ``label -> (partitioned fraction, clusters, largest)``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Row:
+    """Measured statistics for one protocol."""
+
+    label: str
+    runs: int
+    partitioned_fraction: float
+    avg_num_clusters: Optional[float]
+    """Average cluster count over partitioned runs (None if none)."""
+    avg_largest_cluster: Optional[float]
+    """Average largest-cluster size over partitioned runs (None if none)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Result:
+    """All rows plus the scale they were measured at."""
+
+    scale: Scale
+    rows: List[Table1Row]
+
+
+def _run_once(config, scale: Scale, seed: int) -> List[int]:
+    """One growing run; returns the component sizes at the final cycle."""
+    engine = CycleEngine(config, seed=seed)
+    start_growing(engine, scale.n_nodes, scale.growth_rate)
+    engine.run(scale.cycles)
+    return component_sizes(GraphSnapshot.from_engine(engine))
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0) -> Table1Result:
+    """Reproduce Table 1 at the given scale."""
+    if scale is None:
+        scale = current_scale()
+    rows: List[Table1Row] = []
+    for index, config in enumerate(push_protocols(scale.view_size)):
+        partitioned_clusters: List[int] = []
+        partitioned_largest: List[int] = []
+        partitioned = 0
+        for run_index in range(scale.runs):
+            run_seed = seed * 1_000_003 + index * 1_009 + run_index
+            sizes = _run_once(config, scale, run_seed)
+            if len(sizes) > 1:
+                partitioned += 1
+                partitioned_clusters.append(len(sizes))
+                partitioned_largest.append(sizes[0])
+        rows.append(
+            Table1Row(
+                label=config.label,
+                runs=scale.runs,
+                partitioned_fraction=partitioned / scale.runs,
+                avg_num_clusters=(
+                    sum(partitioned_clusters) / partitioned
+                    if partitioned
+                    else None
+                ),
+                avg_largest_cluster=(
+                    sum(partitioned_largest) / partitioned
+                    if partitioned
+                    else None
+                ),
+            )
+        )
+    return Table1Result(scale=scale, rows=rows)
+
+
+def report(result: Table1Result) -> str:
+    """Render the measured table next to the paper's values."""
+    headers = [
+        "protocol",
+        "partitioned",
+        "avg clusters",
+        "avg largest",
+        "paper part.",
+        "paper clusters",
+        "paper largest",
+    ]
+    table_rows: List[Sequence[object]] = []
+    for row in result.rows:
+        paper = PAPER_REFERENCE.get(row.label)
+        table_rows.append(
+            [
+                row.label,
+                f"{row.partitioned_fraction:.0%}",
+                row.avg_num_clusters,
+                row.avg_largest_cluster,
+                f"{paper[0]:.0%}" if paper else "-",
+                paper[1] if paper else None,
+                paper[2] if paper else None,
+            ]
+        )
+    title = (
+        f"Table 1 -- partitioning in the growing scenario "
+        f"(scale={result.scale.name}, N={result.scale.n_nodes}, "
+        f"c={result.scale.view_size}, {result.rows[0].runs} runs, "
+        f"cycle {result.scale.cycles})"
+    )
+    return format_table(headers, table_rows, precision=2, title=title)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run and print at the ambient scale."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Protocols beyond the paper's 27-instance design space.
+
+Implementations of the paper's related work (Section 9) and future-work
+suggestions (Section 10), used as extra comparators by the extension
+benchmarks:
+
+- :mod:`repro.extensions.cyclon` -- Cyclon's age-based shuffling (the main
+  follow-on peer sampling design; drives the same simulation engines);
+- :mod:`repro.extensions.scamp` -- a SCAMP-style reactive subscription
+  protocol (related work: probabilistically sized static views);
+- :mod:`repro.extensions.second_view` -- the paper's Section 10 proposal:
+  run several protocol instances concurrently ("a second view for
+  gossiping membership information") and sample from the combined views.
+"""
+
+from repro.extensions.cyclon import CyclonConfig, CyclonNode, cyclon_engine
+from repro.extensions.scamp import ScampConfig, ScampNetwork
+from repro.extensions.second_view import CombinedOverlay, CombinedSamplingService
+
+__all__ = [
+    "CombinedOverlay",
+    "CombinedSamplingService",
+    "CyclonConfig",
+    "CyclonNode",
+    "ScampConfig",
+    "ScampNetwork",
+    "cyclon_engine",
+]

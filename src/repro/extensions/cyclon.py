@@ -1,0 +1,190 @@
+"""Cyclon: age-based view shuffling (Voulgaris, Gavidia & van Steen).
+
+The paper's framework generalizes push/pull view exchange; Cyclon -- the
+best-known follow-on design, referenced via the routing-table precursor
+[29] -- differs in three ways:
+
+1. the initiator contacts its **oldest** view entry (like ``tail`` peer
+   selection) and *removes* it from the view;
+2. only a small random **shuffle subset** of ``shuffle_length`` entries
+   travels, not the whole view;
+3. received entries *replace the entries that were sent* (empty slots
+   first), so the view size is exactly preserved and in-degree stays
+   tightly balanced.
+
+:class:`CyclonNode` implements the same exchange interface as
+:class:`~repro.core.protocol.GossipNode`, so both simulation engines can
+drive it unchanged (use :func:`cyclon_engine`).  Descriptor ages reuse the
+``hop_count`` field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import Exchange
+from repro.core.view import PartialView
+from repro.simulation.engine import CycleEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class CyclonConfig:
+    """Cyclon parameters: view capacity and shuffle subset size."""
+
+    view_size: int = 30
+    shuffle_length: int = 8
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigurationError(
+                f"view_size must be >= 1, got {self.view_size}"
+            )
+        if not 1 <= self.shuffle_length <= self.view_size:
+            raise ConfigurationError(
+                "shuffle_length must be in [1, view_size], got "
+                f"{self.shuffle_length}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``cyclon(c=30,l=8)``."""
+        return f"cyclon(c={self.view_size},l={self.shuffle_length})"
+
+
+class CyclonNode:
+    """One Cyclon participant, engine-compatible with ``GossipNode``."""
+
+    __slots__ = ("address", "config", "view", "_rng", "_sent", "liveness")
+
+    def __init__(
+        self,
+        address: Address,
+        config: CyclonConfig,
+        rng: random.Random,
+        view: Optional[PartialView] = None,
+    ) -> None:
+        self.address = address
+        self.config = config
+        self._rng = rng
+        self.view = view if view is not None else PartialView(config.view_size)
+        # Shuffle subsets sent to peers whose replies are still in flight,
+        # keyed by peer address (the replacement rule needs them).
+        self._sent: Dict[Address, List[Address]] = {}
+        # Engines install their membership oracle here for interface parity
+        # with GossipNode, but Cyclon deliberately does NOT consult it when
+        # selecting the shuffle target: contacting the oldest entry and
+        # *removing it up front* is Cyclon's built-in failure detector -- if
+        # the target is dead the node merely loses its turn, and one dead
+        # link is purged.  (Voulgaris et al. call this the protocol's
+        # self-cleaning property.)
+        self.liveness = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CyclonNode(address={self.address!r}, "
+            f"{self.config.label}, view_size={len(self.view)})"
+        )
+
+    def sample_peer(self) -> Optional[Address]:
+        """Uniform random view member (the ``getPeer`` primitive)."""
+        entry = self.view.random_entry(self._rng)
+        return None if entry is None else entry.address
+
+    # -- active thread ------------------------------------------------------
+
+    def begin_exchange(self) -> Optional[Exchange]:
+        """Start a shuffle: age the view, pick and remove the oldest entry.
+
+        The request carries a fresh self-descriptor (age 0) plus up to
+        ``shuffle_length - 1`` random other entries.  The oldest entry is
+        removed from the view *before* the exchange: on success the peer
+        answers with replacement entries, on timeout (dead peer) the node
+        has purged one dead link -- Cyclon's failure detection.
+        """
+        self.view.increase_hop_counts()
+        oldest = self.view.tail()
+        if oldest is None:
+            return None
+        peer = oldest.address
+        self.view.remove(peer)
+        others = self._rng.sample(
+            self.view.entries,
+            min(self.config.shuffle_length - 1, len(self.view)),
+        )
+        payload = [NodeDescriptor(self.address, 0)]
+        payload.extend(entry.copy() for entry in others)
+        self._sent[peer] = [entry.address for entry in others]
+        return Exchange(peer, payload)
+
+    def handle_response(self, peer: Address, payload: List[NodeDescriptor]) -> None:
+        """Merge the shuffle reply, replacing the entries sent to ``peer``."""
+        sent = self._sent.pop(peer, [])
+        self._integrate(payload, replaceable=sent)
+
+    # -- passive thread ---------------------------------------------------------
+
+    def handle_request(
+        self, peer: Address, payload: List[NodeDescriptor]
+    ) -> List[NodeDescriptor]:
+        """Answer a shuffle with a random subset of the own view.
+
+        The reply is selected *before* the received entries are merged, and
+        the replied entries become the replaceable slots.
+        """
+        replied = self._rng.sample(
+            self.view.entries,
+            min(self.config.shuffle_length, len(self.view)),
+        )
+        reply = [entry.copy() for entry in replied]
+        self._integrate(payload, replaceable=[e.address for e in replied])
+        return reply
+
+    # -- shared merge rule -----------------------------------------------------------
+
+    def _integrate(
+        self,
+        received: List[NodeDescriptor],
+        replaceable: List[Address],
+    ) -> None:
+        """Cyclon's merge: keep own entry on duplicates, fill empty slots
+        first, then overwrite entries that were part of the shuffle."""
+        replace_queue = [
+            address for address in replaceable if address in self.view
+        ]
+        for descriptor in received:
+            if descriptor.address == self.address:
+                continue
+            if descriptor.address in self.view:
+                continue  # keep the existing (possibly fresher local) entry
+            if not self.view.is_full():
+                entries = self.view.entries
+                entries.append(descriptor)
+                self.view.replace(entries)
+            elif replace_queue:
+                victim = replace_queue.pop()
+                self.view.remove(victim)
+                entries = self.view.entries
+                entries.append(descriptor)
+                self.view.replace(entries)
+            # View full and nothing replaceable left: drop the descriptor.
+
+
+def cyclon_engine(
+    config: Optional[CyclonConfig] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CycleEngine:
+    """A :class:`CycleEngine` whose nodes run Cyclon.
+
+    >>> engine = cyclon_engine(CyclonConfig(view_size=10, shuffle_length=4))
+    """
+    cyclon_config = config if config is not None else CyclonConfig()
+
+    def factory(address: Address, engine_rng: random.Random) -> CyclonNode:
+        return CyclonNode(address, cyclon_config, engine_rng)
+
+    return CycleEngine(seed=seed, rng=rng, node_factory=factory)

@@ -1,0 +1,236 @@
+"""SCAMP-style reactive membership (Ganesh, Kermarrec & Massoulie).
+
+The paper's related work (Section 9) contrasts its proactive gossip
+protocols with SCAMP, a *reactive* protocol: views change only when nodes
+join or leave, and the protocol self-sizes views to about
+``(c + 1) * log(N)`` without knowing N.  This module implements the core
+subscription algorithm:
+
+- a joiner sends a subscription to a contact;
+- the contact forwards the new address to **all** members of its view plus
+  ``c`` additional random members;
+- a node receiving a forwarded subscription keeps it with probability
+  ``1 / (1 + view size)``, otherwise forwards it to a random view member
+  (bounded by a TTL to guarantee termination);
+- graceful leavers hand their in-links replacement targets from their own
+  view (unsubscription); crashed nodes simply leave dead links behind.
+
+Messages are processed through an in-memory FIFO, so a join completes
+before the next membership event -- adequate for the topological analyses
+performed here (SCAMP is not cycle-driven, so the engines do not apply).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError, NodeNotFoundError
+
+
+@dataclasses.dataclass(frozen=True)
+class ScampConfig:
+    """SCAMP parameters.
+
+    ``c`` controls fault tolerance: the protocol aims at view sizes around
+    ``(c + 1) * log(N)``; ``ttl`` bounds subscription forwarding.
+    """
+
+    c: int = 0
+    ttl: int = 32
+
+    def __post_init__(self) -> None:
+        if self.c < 0:
+            raise ConfigurationError(f"c must be >= 0, got {self.c}")
+        if self.ttl < 1:
+            raise ConfigurationError(f"ttl must be >= 1, got {self.ttl}")
+
+
+class _ScampNode:
+    __slots__ = ("address", "view", "in_view")
+
+    def __init__(self, address: Address) -> None:
+        self.address = address
+        self.view: List[Address] = []   # out-links (PartialView in SCAMP terms)
+        self.in_view: List[Address] = []  # who links to us (for unsubscription)
+
+
+class ScampNetwork:
+    """A population of SCAMP nodes with FIFO message processing."""
+
+    def __init__(
+        self, config: Optional[ScampConfig] = None, seed: Optional[int] = None
+    ) -> None:
+        self.config = config if config is not None else ScampConfig()
+        self.rng = random.Random(seed)
+        self._nodes: Dict[Address, _ScampNode] = {}
+        self._queue: Deque[Tuple[Address, Address, int]] = deque()
+        self._next_auto_address = 0
+
+    # -- population -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self._nodes
+
+    def addresses(self) -> List[Address]:
+        """All live addresses."""
+        return list(self._nodes)
+
+    def view_of(self, address: Address) -> List[Address]:
+        """The out-links (partial view) of ``address``."""
+        return list(self._node(address).view)
+
+    def views(self) -> Dict[Address, List[Address]]:
+        """All views, for :class:`~repro.graph.snapshot.GraphSnapshot`."""
+        return {a: list(n.view) for a, n in self._nodes.items()}
+
+    def _node(self, address: Address) -> _ScampNode:
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise NodeNotFoundError(address) from None
+
+    # -- membership operations ---------------------------------------------
+
+    def add_node(
+        self, address: Optional[Address] = None, contact: Optional[Address] = None
+    ) -> Address:
+        """Join a node, subscribing through ``contact`` when given."""
+        if address is None:
+            while self._next_auto_address in self._nodes:
+                self._next_auto_address += 1
+            address = self._next_auto_address
+            self._next_auto_address += 1
+        if address in self._nodes:
+            raise ConfigurationError(f"node {address!r} already exists")
+        node = _ScampNode(address)
+        self._nodes[address] = node
+        if contact is not None:
+            if contact not in self._nodes:
+                raise NodeNotFoundError(contact)
+            self._subscribe(address, contact)
+        return address
+
+    def _subscribe(self, subscriber: Address, contact: Address) -> None:
+        node = self._nodes[subscriber]
+        if contact not in node.view:
+            node.view.append(contact)
+            self._nodes[contact].in_view.append(subscriber)
+        contact_node = self._nodes[contact]
+        # Forward to the whole view plus c extra random copies.
+        targets = list(contact_node.view)
+        extra = self.config.c
+        pool = [a for a in contact_node.view if a != subscriber]
+        if not pool:
+            # Lone contact: keep the subscription itself (bootstrap case).
+            self._keep(contact, subscriber)
+        for _ in range(extra):
+            if pool:
+                targets.append(self.rng.choice(pool))
+        for target in targets:
+            if target != subscriber:
+                self._queue.append((target, subscriber, self.config.ttl))
+        self._drain()
+
+    def _keep(self, keeper: Address, subscriber: Address) -> bool:
+        node = self._nodes.get(keeper)
+        sub = self._nodes.get(subscriber)
+        if node is None or sub is None or keeper == subscriber:
+            return False
+        if subscriber in node.view:
+            return False
+        node.view.append(subscriber)
+        sub.in_view.append(keeper)
+        return True
+
+    def _drain(self) -> None:
+        while self._queue:
+            holder, subscriber, ttl = self._queue.popleft()
+            node = self._nodes.get(holder)
+            if node is None or subscriber not in self._nodes:
+                continue
+            keep_probability = 1.0 / (1.0 + len(node.view))
+            if ttl <= 0 or self.rng.random() < keep_probability:
+                if self._keep(holder, subscriber):
+                    continue
+                # Duplicate: forward instead (unless TTL is exhausted).
+                if ttl <= 0:
+                    continue
+            pool = [a for a in node.view if a != subscriber]
+            if pool:
+                self._queue.append(
+                    (self.rng.choice(pool), subscriber, ttl - 1)
+                )
+
+    def remove_node(self, address: Address, graceful: bool = True) -> None:
+        """Leave the network.
+
+        Graceful leavers run SCAMP unsubscription: each of their in-links
+        is rewired to one of the leaver's own view members, preserving
+        connectivity.  Crashes just delete the node (dead links remain in
+        other views until their holders notice).
+        """
+        node = self._node(address)
+        if graceful:
+            replacements = [a for a in node.view if a != address]
+            for index, subscriber in enumerate(node.in_view):
+                holder = self._nodes.get(subscriber)
+                if holder is None or address not in holder.view:
+                    continue
+                holder.view.remove(address)
+                if replacements:
+                    candidate = replacements[index % len(replacements)]
+                    self._keep(subscriber, candidate)
+        del self._nodes[address]
+        # Purge bookkeeping references to the departed node.
+        for other in self._nodes.values():
+            if not graceful:
+                continue  # crash: dead links intentionally stay in views
+            if address in other.in_view:
+                other.in_view = [a for a in other.in_view if a != address]
+
+    def dead_link_count(self) -> int:
+        """View entries pointing at departed nodes."""
+        return sum(
+            1
+            for node in self._nodes.values()
+            for target in node.view
+            if target not in self._nodes
+        )
+
+    # -- sampling -------------------------------------------------------------
+
+    def get_peer(self, address: Address) -> Optional[Address]:
+        """Uniform random view member of ``address`` (the ``getPeer`` call)."""
+        view = self._node(address).view
+        live = [a for a in view if a in self._nodes]
+        if not live:
+            return None
+        return self.rng.choice(live)
+
+    def mean_view_size(self) -> float:
+        """Average out-view size (SCAMP targets ``(c+1) * ln N``)."""
+        if not self._nodes:
+            return 0.0
+        return sum(len(n.view) for n in self._nodes.values()) / len(self._nodes)
+
+
+def build_scamp_network(
+    n_nodes: int,
+    config: Optional[ScampConfig] = None,
+    seed: Optional[int] = None,
+) -> ScampNetwork:
+    """Grow a SCAMP network node by node through random live contacts."""
+    network = ScampNetwork(config=config, seed=seed)
+    first = network.add_node()
+    addresses: List[Address] = [first]
+    for _ in range(n_nodes - 1):
+        contact = network.rng.choice(addresses)
+        addresses.append(network.add_node(contact=contact))
+    return network

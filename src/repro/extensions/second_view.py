@@ -1,0 +1,189 @@
+"""Combined services: several protocol instances side by side.
+
+Paper Section 10: "combining different settings will be necessary.  Such a
+combination can, for instance, be achieved by introducing a second view for
+gossiping membership information and running more protocols concurrently."
+
+:class:`CombinedOverlay` runs one :class:`~repro.simulation.engine.CycleEngine`
+per protocol instance over the *same* address space: every logical node
+owns one view per instance, and membership events (joins, crashes) apply to
+all instances at once.  :class:`CombinedSamplingService` then answers
+``get_peer`` from the union of a node's views.
+
+The motivating combination is a fast-healing instance (head view
+selection) next to a partition-tolerant one (rand view selection): after a
+temporary partition the head views forget the other side while the rand
+views still remember it, so the union heals quickly *and* can reconnect --
+the trade-off discussed in paper Section 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError, NotInitializedError
+from repro.simulation.engine import CycleEngine
+
+
+class CombinedOverlay:
+    """Lock-step execution of several protocol instances.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`~repro.core.config.ProtocolConfig` per concurrent
+        instance (at least one).
+    seed:
+        Seeds an internal RNG from which each instance engine gets its own
+        independent seed.
+    """
+
+    def __init__(
+        self, configs: Sequence[ProtocolConfig], seed: Optional[int] = None
+    ) -> None:
+        if not configs:
+            raise ConfigurationError("CombinedOverlay needs >= 1 config")
+        self.rng = random.Random(seed)
+        self.engines: List[CycleEngine] = [
+            CycleEngine(config, seed=self.rng.randrange(2**63))
+            for config in configs
+        ]
+        self.cycle = 0
+
+    # -- population (applied to every instance) ------------------------------
+
+    def __len__(self) -> int:
+        return len(self.engines[0])
+
+    def __contains__(self, address: Address) -> bool:
+        return address in self.engines[0]
+
+    def addresses(self) -> List[Address]:
+        """All live addresses."""
+        return self.engines[0].addresses()
+
+    def add_node(
+        self,
+        address: Optional[Address] = None,
+        contacts: Sequence[Address] = (),
+    ) -> Address:
+        """Join a node in every instance (same address, same contacts)."""
+        address = self.engines[0].add_node(address, contacts)
+        for engine in self.engines[1:]:
+            engine.add_node(address, contacts)
+        return address
+
+    def add_nodes(
+        self, count: int, contacts: Sequence[Address] = ()
+    ) -> List[Address]:
+        """Join ``count`` nodes in every instance."""
+        return [self.add_node(contacts=contacts) for _ in range(count)]
+
+    def remove_node(self, address: Address) -> None:
+        """Crash a node in every instance."""
+        for engine in self.engines:
+            engine.remove_node(address)
+
+    def crash_random_nodes(self, count: int) -> List[Address]:
+        """Crash the same ``count`` random nodes in every instance."""
+        victims = self.rng.sample(self.engines[0].addresses(), count)
+        for victim in victims:
+            self.remove_node(victim)
+        return victims
+
+    # -- execution -------------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        """Run one cycle of every instance."""
+        for engine in self.engines:
+            engine.run_cycle()
+        self.cycle += 1
+
+    def run(self, cycles: int) -> None:
+        """Run ``cycles`` cycles of every instance."""
+        for _ in range(cycles):
+            self.run_cycle()
+
+    # -- combined views -----------------------------------------------------------
+
+    def combined_view(self, address: Address) -> List[NodeDescriptor]:
+        """Union of a node's views across instances (lowest age wins)."""
+        best: Dict[Address, NodeDescriptor] = {}
+        for engine in self.engines:
+            for descriptor in engine.node(address).view:
+                current = best.get(descriptor.address)
+                if current is None or descriptor.hop_count < current.hop_count:
+                    best[descriptor.address] = descriptor
+        return sorted(best.values(), key=lambda d: d.hop_count)
+
+    def views(self) -> Dict[Address, List[NodeDescriptor]]:
+        """Combined views of all nodes (for graph snapshots)."""
+        return {
+            address: self.combined_view(address)
+            for address in self.addresses()
+        }
+
+    def dead_link_count(self) -> int:
+        """Dead links in the *combined* views."""
+        alive = set(self.addresses())
+        return sum(
+            1
+            for address in alive
+            for descriptor in self.combined_view(address)
+            if descriptor.address not in alive
+        )
+
+    def service(self, address: Address) -> "CombinedSamplingService":
+        """A sampling service over the union of ``address``'s views."""
+        return CombinedSamplingService(self, address)
+
+
+class CombinedSamplingService:
+    """``init`` / ``get_peer`` over the union of one node's views."""
+
+    __slots__ = ("_overlay", "_address")
+
+    def __init__(self, overlay: CombinedOverlay, address: Address) -> None:
+        if address not in overlay:
+            raise ConfigurationError(f"unknown address {address!r}")
+        self._overlay = overlay
+        self._address = address
+
+    @property
+    def address(self) -> Address:
+        """The node this service belongs to."""
+        return self._address
+
+    @property
+    def initialized(self) -> bool:
+        """Whether any underlying view is non-empty."""
+        return bool(self._overlay.combined_view(self._address))
+
+    def init(self, contacts: Sequence[Address] = ()) -> None:
+        """Seed every instance's view with ``contacts``."""
+        for engine in self._overlay.engines:
+            engine.service(self._address).init(contacts)
+
+    def get_peer(self) -> Optional[Address]:
+        """Uniform random member of the combined view."""
+        if self._address not in self._overlay:
+            raise NotInitializedError(
+                f"{self._address!r} is no longer part of the overlay"
+            )
+        combined = self._overlay.combined_view(self._address)
+        if not combined:
+            return None
+        return self._overlay.rng.choice(combined).address
+
+    def get_peers(self, count: int) -> List[Address]:
+        """``count`` samples by repeated :meth:`get_peer` calls."""
+        samples: List[Address] = []
+        for _ in range(count):
+            peer = self.get_peer()
+            if peer is None:
+                break
+            samples.append(peer)
+        return samples

@@ -1,0 +1,117 @@
+"""Reference topologies.
+
+The generators return :class:`~repro.graph.snapshot.GraphSnapshot` objects
+and serve two purposes: the **uniform random view topology** is the paper's
+explicit baseline (every view filled with a uniform random sample -- the
+horizontal lines in Figures 2 and 3), and the others (ring lattice, star,
+Erdos-Renyi) anchor tests and the discussion of degenerate cases (the paper
+notes ``(*,*,pull)`` collapses to a star).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.graph.snapshot import GraphSnapshot
+
+
+def random_view_topology(
+    n: int,
+    c: int,
+    rng: Optional[random.Random] = None,
+) -> GraphSnapshot:
+    """The paper's baseline: each node's view is a uniform random sample.
+
+    Every node holds ``min(c, n - 1)`` descriptors of distinct other nodes;
+    the snapshot is the undirected version of that directed graph.  Its
+    expected average degree is slightly below ``2c`` (in- and out-links
+    overlap with probability about ``c / n``).
+    """
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    if rng is None:
+        rng = random.Random(0)
+    fill = min(c, n - 1)
+    adjacency: Dict[int, List[int]] = {}
+    population = range(n)
+    for node in range(n):
+        sample = rng.sample(population, fill + 1)
+        view = [peer for peer in sample if peer != node][:fill]
+        while len(view) < fill:
+            peer = rng.randrange(n)
+            if peer != node and peer not in view:
+                view.append(peer)
+        adjacency[node] = view
+    return GraphSnapshot.from_adjacency(adjacency)
+
+
+def ring_lattice(n: int, c: int) -> GraphSnapshot:
+    """A ring where each node links to its ``c`` nearest ring neighbours.
+
+    Mirrors the paper's lattice bootstrap (Section 5.2): neighbours are
+    added in order of ring distance 1, 1, 2, 2, ... until ``c`` descriptors
+    are placed.
+    """
+    if n < 2:
+        raise ConfigurationError(f"a lattice needs n >= 2, got {n}")
+    fill = min(c, n - 1)
+    adjacency: Dict[int, List[int]] = {}
+    for node in range(n):
+        view: List[int] = []
+        distance = 1
+        while len(view) < fill:
+            for offset in (distance, -distance):
+                if len(view) >= fill:
+                    break
+                peer = (node + offset) % n
+                if peer != node and peer not in view:
+                    view.append(peer)
+            distance += 1
+        adjacency[node] = view
+    return GraphSnapshot.from_adjacency(adjacency)
+
+
+def star(n: int, center: int = 0) -> GraphSnapshot:
+    """A star: every node linked to ``center`` only.
+
+    The degenerate topology that pull-only protocols converge to (paper
+    Section 4.3); maximally unbalanced degree distribution, yet low
+    diameter and zero clustering.
+    """
+    if n < 2:
+        raise ConfigurationError(f"a star needs n >= 2, got {n}")
+    if not 0 <= center < n:
+        raise ConfigurationError(f"center {center} outside [0, {n})")
+    edges = [(center, node) for node in range(n) if node != center]
+    return GraphSnapshot.from_edges(list(range(n)), edges)
+
+
+def erdos_renyi(
+    n: int,
+    p: float,
+    rng: Optional[random.Random] = None,
+) -> GraphSnapshot:
+    """A G(n, p) random graph (each undirected pair linked w.p. ``p``)."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if rng is None:
+        rng = random.Random(0)
+    edges = [
+        (a, b)
+        for a in range(n)
+        for b in range(a + 1, n)
+        if rng.random() < p
+    ]
+    return GraphSnapshot.from_edges(list(range(n)), edges)
+
+
+def complete_graph(n: int) -> GraphSnapshot:
+    """The complete graph on ``n`` nodes (clustering coefficient 1)."""
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    return GraphSnapshot.from_edges(list(range(n)), edges)

@@ -1,0 +1,45 @@
+"""Simulation substrate: engines, network models, churn and scenarios.
+
+Two engines drive the same :class:`~repro.core.protocol.GossipNode` state
+machine:
+
+- :class:`~repro.simulation.engine.CycleEngine` -- PeerSim-style
+  cycle-driven execution: in every cycle each node runs the active thread
+  exactly once, in a random permutation, and exchanges complete
+  synchronously.  This matches the paper's experimental setup and is what
+  the experiment harness uses.
+- :class:`~repro.simulation.event_engine.EventEngine` -- asynchronous
+  timer-driven execution with modelled message latency and loss, used to
+  check that the cycle-level results carry over to a more realistic
+  deployment model.
+"""
+
+from repro.simulation.engine import CycleEngine
+from repro.simulation.event_engine import EventEngine
+from repro.simulation.network import (
+    BernoulliLoss,
+    ConstantLatency,
+    ExponentialLatency,
+    NoLoss,
+    UniformLatency,
+)
+from repro.simulation.trace import (
+    DeadLinkCensus,
+    DegreeTracer,
+    MetricsRecorder,
+    Observer,
+)
+
+__all__ = [
+    "BernoulliLoss",
+    "ConstantLatency",
+    "CycleEngine",
+    "DeadLinkCensus",
+    "DegreeTracer",
+    "EventEngine",
+    "ExponentialLatency",
+    "MetricsRecorder",
+    "NoLoss",
+    "Observer",
+    "UniformLatency",
+]

@@ -1,0 +1,109 @@
+"""Network models for the event-driven engine.
+
+The cycle-driven engine abstracts the network away entirely (synchronous,
+loss-free exchanges); the event-driven engine uses the models here to delay
+and drop messages:
+
+- :class:`LatencyModel` implementations return a per-message delay;
+- :class:`LossModel` implementations decide per-message drops.
+
+All models draw from the RNG they are handed, never from global state, so
+simulations stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import ConfigurationError
+
+
+class LatencyModel:
+    """Base class for message delay models."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Return the delay for one message, in simulated time units."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {delay}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(
+                f"need 0 <= low <= high, got low={low}, high={high}"
+            )
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class ExponentialLatency(LatencyModel):
+    """Exponentially distributed delays with the given mean."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean latency must be > 0, got {mean}")
+        self.mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean)
+
+    def __repr__(self) -> str:
+        return f"ExponentialLatency({self.mean})"
+
+
+class LossModel:
+    """Base class for message loss models."""
+
+    def drops(self, rng: random.Random) -> bool:
+        """Whether one particular message is lost."""
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """A perfectly reliable network."""
+
+    def drops(self, rng: random.Random) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossModel):
+    """Each message is independently lost with probability ``p``."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in [0, 1], got {probability}"
+            )
+        self.probability = probability
+
+    def drops(self, rng: random.Random) -> bool:
+        return rng.random() < self.probability
+
+    def __repr__(self) -> str:
+        return f"BernoulliLoss({self.probability})"

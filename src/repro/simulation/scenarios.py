@@ -1,0 +1,143 @@
+"""Bootstrap scenarios (paper Sections 5.1-5.3).
+
+Three ways to initialize the overlay before (or while) the protocol runs:
+
+- :func:`random_bootstrap` -- every view starts as a uniform random sample
+  of the other nodes (Section 5.3, the paper's main scenario);
+- :func:`lattice_bootstrap` -- views hold the nearest neighbours on a ring,
+  a structured, large-diameter start (Section 5.2);
+- :class:`GrowingScenario` / :func:`start_growing` -- the overlay grows
+  from a single node, adding a batch of joiners at the beginning of every
+  cycle whose views contain only the oldest node (Section 5.1, the
+  most pessimistic bootstrap).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.simulation.base import BaseEngine
+from repro.simulation.trace import Observer
+
+
+def random_bootstrap(
+    engine: BaseEngine,
+    n_nodes: int,
+    view_fill: Optional[int] = None,
+) -> List[Address]:
+    """Create ``n_nodes`` nodes whose views are uniform random samples.
+
+    Every view receives ``view_fill`` (default: the view capacity)
+    descriptors of distinct other nodes, all with hop count 0.  This is the
+    paper's "random initial topology" and also the baseline random view
+    topology when no cycles are run afterwards.
+    """
+    if n_nodes < 1:
+        raise ConfigurationError(f"need at least 1 node, got {n_nodes}")
+    addresses = engine.add_nodes(n_nodes)
+    for address in addresses:
+        node = engine.node(address)
+        fill = view_fill if view_fill is not None else node.view.capacity
+        fill = min(fill, n_nodes - 1, node.view.capacity)
+        if fill <= 0:
+            continue
+        others = engine.rng.sample(addresses, fill + 1)
+        entries = [
+            NodeDescriptor(peer, 0) for peer in others if peer != address
+        ][:fill]
+        while len(entries) < fill:
+            peer = engine.rng.choice(addresses)
+            if peer != address and all(e.address != peer for e in entries):
+                entries.append(NodeDescriptor(peer, 0))
+        node.view.replace(entries)
+    return addresses
+
+
+def lattice_bootstrap(
+    engine: BaseEngine,
+    n_nodes: int,
+    view_fill: Optional[int] = None,
+) -> List[Address]:
+    """Create ``n_nodes`` nodes arranged in a ring lattice.
+
+    Following the paper: nodes form a ring (each view contains its two ring
+    neighbours), then descriptors of the next-nearest ring nodes are added
+    until the view is filled -- in order of ring distance 1, 1, 2, 2, 3, 3...
+    """
+    if n_nodes < 2:
+        raise ConfigurationError(f"a lattice needs >= 2 nodes, got {n_nodes}")
+    addresses = engine.add_nodes(n_nodes)
+    for index, address in enumerate(addresses):
+        node = engine.node(address)
+        fill = view_fill if view_fill is not None else node.view.capacity
+        fill = min(fill, n_nodes - 1, node.view.capacity)
+        entries: List[NodeDescriptor] = []
+        distance = 1
+        while len(entries) < fill:
+            for offset in (distance, -distance):
+                if len(entries) >= fill:
+                    break
+                peer = addresses[(index + offset) % n_nodes]
+                if peer != address and all(e.address != peer for e in entries):
+                    entries.append(NodeDescriptor(peer, 0))
+            distance += 1
+        node.view.replace(entries)
+    return addresses
+
+
+class GrowingScenario(Observer):
+    """Observer implementing the paper's growing-overlay scenario.
+
+    At the beginning of every cycle, up to ``nodes_per_cycle`` new nodes
+    join (until ``target_size`` is reached); each joiner's view contains a
+    single descriptor of the *oldest* node.
+
+    Attributes
+    ----------
+    oldest:
+        The initial node's address (every joiner's only contact).
+    done_at_cycle:
+        The cycle at which the target size was reached, or ``None``.
+    """
+
+    def __init__(self, target_size: int, nodes_per_cycle: int) -> None:
+        if target_size < 1:
+            raise ConfigurationError(f"target_size must be >= 1: {target_size}")
+        if nodes_per_cycle < 1:
+            raise ConfigurationError(
+                f"nodes_per_cycle must be >= 1: {nodes_per_cycle}"
+            )
+        self.target_size = target_size
+        self.nodes_per_cycle = nodes_per_cycle
+        self.oldest: Optional[Address] = None
+        self.done_at_cycle: Optional[int] = None
+
+    def before_cycle(self, engine: BaseEngine) -> None:  # type: ignore[override]
+        if self.oldest is None:
+            self.oldest = engine.add_node()
+        missing = self.target_size - len(engine)
+        if missing <= 0:
+            if self.done_at_cycle is None:
+                self.done_at_cycle = engine.cycle
+            return
+        batch = min(self.nodes_per_cycle, missing)
+        engine.add_nodes(batch, contacts=[self.oldest])
+
+
+def start_growing(
+    engine: BaseEngine,
+    target_size: int,
+    nodes_per_cycle: Optional[int] = None,
+) -> GrowingScenario:
+    """Register a :class:`GrowingScenario` on ``engine`` and return it.
+
+    ``nodes_per_cycle`` defaults to ``target_size // 100`` (at least 1),
+    mirroring the paper's proportions (10^4 nodes over 100 cycles).
+    """
+    if nodes_per_cycle is None:
+        nodes_per_cycle = max(1, target_size // 100)
+    scenario = GrowingScenario(target_size, nodes_per_cycle)
+    engine.add_observer(scenario)
+    return scenario

@@ -1,0 +1,56 @@
+"""A minimal discrete-event scheduler (priority queue of timed events).
+
+Used by the event-driven engine.  Ties in time are broken by insertion
+order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+
+
+class EventScheduler:
+    """Time-ordered event queue.
+
+    Events are arbitrary objects; the scheduler orders them by absolute
+    time, breaking ties by insertion order (FIFO among simultaneous
+    events).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, event: Any) -> None:
+        """Enqueue ``event`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
+
+    def schedule_at(self, time: float, event: Any) -> None:
+        """Enqueue ``event`` to fire at absolute time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+
+    def peek_time(self) -> Optional[float]:
+        """The firing time of the next event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Any:
+        """Remove and return the next event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("pop from an empty scheduler")
+        time, _, event = heapq.heappop(self._heap)
+        self.now = time
+        return event

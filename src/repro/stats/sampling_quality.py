@@ -1,0 +1,176 @@
+"""Sampling-quality analysis: how far is ``get_peer()`` from uniform?
+
+The paper's central question is the *quality* of the sample stream a peer
+sampling service produces (Section 2: "there is a trade-off between the
+required quality of sampling and the performance cost").  This module
+quantifies that quality directly on the service API, complementing the
+topology-level analysis of :mod:`repro.graph`:
+
+- :func:`sample_frequencies` -- empirical global hit distribution of
+  repeated ``get_peer`` calls across many callers;
+- :func:`chi_square_uniformity` -- the chi-square statistic (and its
+  normalized form) of that distribution against the uniform null;
+- :func:`total_variation_from_uniform` -- L1 distance to uniform in [0, 1];
+- :func:`repeat_probability` -- short-window repeat rate of one caller's
+  stream (temporal correlation: views change slowly, so consecutive calls
+  collide far more often than independent uniform draws would);
+- :class:`SamplingQualityReport` / :func:`evaluate_sampling_quality` --
+  everything at once, for any object exposing ``get_peer``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.descriptor import Address
+
+GetPeer = Callable[[], Optional[Address]]
+
+
+def sample_frequencies(
+    services: Sequence[object],
+    calls_per_service: int,
+) -> Dict[Address, int]:
+    """Pooled hit counts of ``get_peer`` across many callers.
+
+    Every service contributes ``calls_per_service`` samples; the result
+    maps each sampled address to its total hit count.  ``None`` results
+    (empty views) are skipped.
+    """
+    counts: Counter = Counter()
+    for service in services:
+        for _ in range(calls_per_service):
+            peer = service.get_peer()
+            if peer is not None:
+                counts[peer] += 1
+    return dict(counts)
+
+
+def chi_square_uniformity(
+    counts: Dict[Address, int],
+    population: Sequence[Address],
+) -> float:
+    """Chi-square statistic of ``counts`` against the uniform distribution.
+
+    Addresses of ``population`` absent from ``counts`` contribute their
+    full expected count.  Returns the *normalized* statistic
+    ``chi2 / degrees_of_freedom`` so that values near 1.0 mean
+    "consistent with uniform" and values far above 1.0 mean structure.
+    """
+    n = len(population)
+    if n < 2:
+        raise ValueError("population must contain at least 2 addresses")
+    total = sum(counts.get(address, 0) for address in population)
+    if total == 0:
+        raise ValueError("counts contain no samples over the population")
+    expected = total / n
+    chi2 = sum(
+        (counts.get(address, 0) - expected) ** 2 / expected
+        for address in population
+    )
+    return chi2 / (n - 1)
+
+
+def total_variation_from_uniform(
+    counts: Dict[Address, int],
+    population: Sequence[Address],
+) -> float:
+    """Total-variation distance between the hit distribution and uniform.
+
+    0.0 means exactly uniform over ``population``; 1.0 means maximally
+    concentrated.
+    """
+    n = len(population)
+    if n == 0:
+        raise ValueError("population must not be empty")
+    total = sum(counts.get(address, 0) for address in population)
+    if total == 0:
+        raise ValueError("counts contain no samples over the population")
+    uniform = 1.0 / n
+    return 0.5 * sum(
+        abs(counts.get(address, 0) / total - uniform)
+        for address in population
+    )
+
+
+def repeat_probability(
+    service: object,
+    calls: int,
+    window: int = 1,
+) -> float:
+    """Probability that a sample repeats one seen within ``window`` calls.
+
+    For independent uniform sampling over N-1 peers this is about
+    ``window / (N - 1)``; gossip services sample from a slowly-changing
+    c-sized view, so their repeat rate is about ``window / c`` -- much
+    higher.  This is the "correlation in time" the paper's ``getPeer``
+    specification leaves implementation-defined.
+    """
+    if calls < 2:
+        raise ValueError("need at least 2 calls to measure repeats")
+    recent: List[Address] = []
+    repeats = 0
+    observations = 0
+    for _ in range(calls):
+        peer = service.get_peer()
+        if peer is None:
+            continue
+        if recent:
+            observations += 1
+            if peer in recent[-window:]:
+                repeats += 1
+        recent.append(peer)
+    if observations == 0:
+        return 0.0
+    return repeats / observations
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingQualityReport:
+    """Summary of one service population's sampling quality."""
+
+    n_population: int
+    total_samples: int
+    normalized_chi_square: float
+    """~1.0 for uniform sampling; >> 1.0 for structured sampling."""
+    total_variation: float
+    """L1/2 distance to the uniform distribution, in [0, 1]."""
+    coverage: float
+    """Fraction of the population sampled at least once."""
+    repeat_probability_window1: float
+    """One caller's immediate-repeat rate (temporal correlation)."""
+
+
+def evaluate_sampling_quality(
+    services: Dict[Address, object],
+    calls_per_service: int = 20,
+    repeat_calls: int = 200,
+) -> SamplingQualityReport:
+    """Evaluate a population of peer sampling services in one sweep.
+
+    Parameters
+    ----------
+    services:
+        Mapping of address -> service (anything with ``get_peer``); the
+        key set defines the population the hit distribution is measured
+        against.
+    calls_per_service:
+        Samples drawn from every service for the global distribution.
+    repeat_calls:
+        Samples drawn from one (arbitrary, first) service for the
+        temporal repeat rate.
+    """
+    population = list(services)
+    counts = sample_frequencies(list(services.values()), calls_per_service)
+    first = next(iter(services.values()))
+    return SamplingQualityReport(
+        n_population=len(population),
+        total_samples=sum(counts.values()),
+        normalized_chi_square=chi_square_uniformity(counts, population),
+        total_variation=total_variation_from_uniform(counts, population),
+        coverage=sum(1 for a in population if counts.get(a, 0) > 0)
+        / len(population),
+        repeat_probability_window1=repeat_probability(first, repeat_calls),
+    )

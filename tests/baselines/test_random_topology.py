@@ -1,0 +1,57 @@
+"""Unit tests for the random view topology baseline metrics."""
+
+import pytest
+
+from repro.baselines.random_topology import (
+    expected_average_degree,
+    random_baseline_metrics,
+)
+
+
+class TestRandomBaselineMetrics:
+    def test_returns_all_three_metrics(self):
+        metrics = random_baseline_metrics(200, 8)
+        assert set(metrics) == {
+            "average_degree",
+            "clustering",
+            "average_path_length",
+        }
+
+    def test_values_are_plausible(self):
+        metrics = random_baseline_metrics(
+            300, 10, clustering_sample=None, path_sources=None
+        )
+        assert metrics["average_degree"] == pytest.approx(
+            expected_average_degree(300, 10), rel=0.05
+        )
+        # Random graph clustering ~ avg_degree / n.
+        assert metrics["clustering"] == pytest.approx(
+            metrics["average_degree"] / 300, rel=0.35
+        )
+        assert 1.5 < metrics["average_path_length"] < 3.5
+
+    def test_cache_returns_equal_values(self):
+        first = random_baseline_metrics(150, 6, seed=9)
+        second = random_baseline_metrics(150, 6, seed=9)
+        assert first == second
+        # The cache must hand out copies, not a shared mutable dict.
+        first["average_degree"] = -1
+        assert random_baseline_metrics(150, 6, seed=9)["average_degree"] > 0
+
+    def test_different_seeds_differ(self):
+        a = random_baseline_metrics(150, 6, seed=1)
+        b = random_baseline_metrics(150, 6, seed=2)
+        assert a != b
+
+
+class TestExpectedAverageDegree:
+    def test_paper_parameters(self):
+        # N = 10^4, c = 30: expectation just below 2c.
+        assert expected_average_degree(10_000, 30) == pytest.approx(59.91, abs=0.01)
+
+    def test_small_population(self):
+        # Complete graph case: every node knows everyone.
+        assert expected_average_degree(4, 10) == pytest.approx(3.0)
+
+    def test_single_node(self):
+        assert expected_average_degree(1, 10) == 0.0

@@ -1,0 +1,105 @@
+"""Unit and property tests for the wire codec."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.codec import (
+    WIRE_FORMAT_VERSION,
+    CodecError,
+    decode_descriptor,
+    decode_message,
+    encode_descriptor,
+    encode_message,
+)
+from repro.core.descriptor import NodeDescriptor
+
+
+class TestDescriptorCodec:
+    def test_round_trip(self):
+        original = NodeDescriptor("node-1", 5)
+        assert decode_descriptor(encode_descriptor(original)) == original
+
+    def test_integer_addresses(self):
+        original = NodeDescriptor(42, 0)
+        assert decode_descriptor(encode_descriptor(original)) == original
+
+    def test_unserializable_address_rejected(self):
+        with pytest.raises(CodecError):
+            encode_descriptor(NodeDescriptor(("tuple", "addr"), 1))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            ["a"],
+            ["a", 1, 2],
+            ["a", "not-an-int"],
+            ["a", -1],
+            [None, 1],
+            "not-a-list",
+            {"address": "a"},
+        ],
+    )
+    def test_malformed_descriptor_rejected(self, payload):
+        with pytest.raises(CodecError):
+            decode_descriptor(payload)
+
+
+class TestMessageCodec:
+    def test_round_trip(self):
+        view = [NodeDescriptor("a", 0), NodeDescriptor(7, 3)]
+        assert decode_message(encode_message(view)) == view
+
+    def test_empty_message(self):
+        assert decode_message(encode_message([])) == []
+
+    def test_version_embedded(self):
+        body = json.loads(encode_message([]).decode())
+        assert body["v"] == WIRE_FORMAT_VERSION
+
+    def test_wrong_version_rejected(self):
+        data = json.dumps({"v": 999, "view": []}).encode()
+        with pytest.raises(CodecError):
+            decode_message(data)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xff\xfe not json")
+        with pytest.raises(CodecError):
+            decode_message(b"[1,2,3]")
+        with pytest.raises(CodecError):
+            decode_message(json.dumps({"v": 1}).encode())
+
+    def test_oversized_message_rejected(self):
+        data = b" " * (2 << 20)
+        with pytest.raises(CodecError):
+            decode_message(data)
+
+    def test_decoded_descriptors_are_independent(self):
+        view = [NodeDescriptor("a", 1)]
+        decoded = decode_message(encode_message(view))
+        decoded[0].hop_count = 99
+        assert view[0].hop_count == 1
+
+
+addresses_st = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(min_size=0, max_size=30),
+)
+
+
+@given(
+    st.lists(
+        st.builds(
+            NodeDescriptor,
+            addresses_st,
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=50,
+    )
+)
+def test_message_round_trip_property(view):
+    assert decode_message(encode_message(view)) == view

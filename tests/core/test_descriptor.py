@@ -1,0 +1,77 @@
+"""Unit tests for node descriptors."""
+
+import pytest
+
+from repro.core.descriptor import (
+    NodeDescriptor,
+    copy_all,
+    increase_hop_count,
+)
+
+
+class TestNodeDescriptor:
+    def test_stores_address_and_hop_count(self):
+        descriptor = NodeDescriptor("a", 3)
+        assert descriptor.address == "a"
+        assert descriptor.hop_count == 3
+
+    def test_default_hop_count_is_zero(self):
+        assert NodeDescriptor("a").hop_count == 0
+
+    def test_negative_hop_count_rejected(self):
+        with pytest.raises(ValueError):
+            NodeDescriptor("a", -1)
+
+    def test_copy_is_independent(self):
+        original = NodeDescriptor("a", 1)
+        duplicate = original.copy()
+        duplicate.hop_count = 9
+        assert original.hop_count == 1
+        assert duplicate.address == "a"
+
+    def test_aged_returns_new_descriptor(self):
+        original = NodeDescriptor("a", 1)
+        older = original.aged()
+        assert older.hop_count == 2
+        assert original.hop_count == 1
+
+    def test_aged_with_custom_increment(self):
+        assert NodeDescriptor("a", 1).aged(5).hop_count == 6
+
+    def test_equality_covers_address_and_hop_count(self):
+        assert NodeDescriptor("a", 1) == NodeDescriptor("a", 1)
+        assert NodeDescriptor("a", 1) != NodeDescriptor("a", 2)
+        assert NodeDescriptor("a", 1) != NodeDescriptor("b", 1)
+
+    def test_equality_with_other_types(self):
+        assert NodeDescriptor("a", 1) != "a"
+        assert NodeDescriptor("a", 1) is not None
+
+    def test_hashable_consistent_with_equality(self):
+        assert len({NodeDescriptor("a", 1), NodeDescriptor("a", 1)}) == 1
+        assert len({NodeDescriptor("a", 1), NodeDescriptor("a", 2)}) == 2
+
+    def test_repr_mentions_fields(self):
+        text = repr(NodeDescriptor("node-7", 2))
+        assert "node-7" in text
+        assert "2" in text
+
+    def test_integer_addresses_supported(self):
+        assert NodeDescriptor(42).address == 42
+
+
+class TestHelpers:
+    def test_increase_hop_count_mutates_in_place(self):
+        descriptors = [NodeDescriptor("a", 0), NodeDescriptor("b", 5)]
+        increase_hop_count(descriptors)
+        assert [d.hop_count for d in descriptors] == [1, 6]
+
+    def test_increase_hop_count_empty(self):
+        increase_hop_count([])  # must not raise
+
+    def test_copy_all_returns_independent_copies(self):
+        originals = [NodeDescriptor("a", 1), NodeDescriptor("b", 2)]
+        copies = copy_all(originals)
+        copies[0].hop_count = 99
+        assert originals[0].hop_count == 1
+        assert [c.address for c in copies] == ["a", "b"]

@@ -1,0 +1,113 @@
+"""Unit tests for the three policy dimensions."""
+
+import random
+
+import pytest
+
+from repro.core.descriptor import NodeDescriptor
+from repro.core.policies import (
+    PeerSelection,
+    Propagation,
+    ViewSelection,
+    parse_peer_selection,
+    parse_propagation,
+    parse_view_selection,
+)
+from repro.core.view import PartialView
+
+
+def make_view():
+    return PartialView(
+        5,
+        [
+            NodeDescriptor("fresh", 1),
+            NodeDescriptor("middle", 3),
+            NodeDescriptor("old", 7),
+        ],
+    )
+
+
+class TestPeerSelection:
+    def test_head_selects_lowest_hop_count(self):
+        entry = PeerSelection.HEAD.select(make_view(), random.Random(0))
+        assert entry.address == "fresh"
+
+    def test_tail_selects_highest_hop_count(self):
+        entry = PeerSelection.TAIL.select(make_view(), random.Random(0))
+        assert entry.address == "old"
+
+    def test_rand_covers_all_entries(self):
+        rng = random.Random(1)
+        view = make_view()
+        seen = {
+            PeerSelection.RAND.select(view, rng).address for _ in range(60)
+        }
+        assert seen == {"fresh", "middle", "old"}
+
+    @pytest.mark.parametrize("policy", list(PeerSelection))
+    def test_empty_view_returns_none(self, policy):
+        assert policy.select(PartialView(3), random.Random(0)) is None
+
+    def test_values_match_paper_names(self):
+        assert PeerSelection.RAND.value == "rand"
+        assert PeerSelection.HEAD.value == "head"
+        assert PeerSelection.TAIL.value == "tail"
+
+
+class TestViewSelection:
+    def setup_method(self):
+        self.buffer = [
+            NodeDescriptor("a", 1),
+            NodeDescriptor("b", 2),
+            NodeDescriptor("c", 3),
+        ]
+
+    def test_head_keeps_freshest(self):
+        chosen = ViewSelection.HEAD.select(self.buffer, 2, random.Random(0))
+        assert [d.address for d in chosen] == ["a", "b"]
+
+    def test_tail_keeps_oldest(self):
+        chosen = ViewSelection.TAIL.select(self.buffer, 2, random.Random(0))
+        assert [d.address for d in chosen] == ["b", "c"]
+
+    def test_rand_keeps_subset(self):
+        chosen = ViewSelection.RAND.select(self.buffer, 2, random.Random(0))
+        assert len(chosen) == 2
+        assert set(chosen) <= set(self.buffer)
+
+    @pytest.mark.parametrize("policy", list(ViewSelection))
+    def test_small_buffer_kept_whole(self, policy):
+        chosen = policy.select(self.buffer, 10, random.Random(0))
+        assert len(chosen) == 3
+
+
+class TestPropagation:
+    def test_push_flags(self):
+        assert Propagation.PUSH.push and not Propagation.PUSH.pull
+
+    def test_pull_flags(self):
+        assert Propagation.PULL.pull and not Propagation.PULL.push
+
+    def test_pushpull_flags(self):
+        assert Propagation.PUSHPULL.push and Propagation.PUSHPULL.pull
+
+
+class TestParsers:
+    def test_parse_peer_selection(self):
+        assert parse_peer_selection("rand") is PeerSelection.RAND
+        assert parse_peer_selection(" HEAD ") is PeerSelection.HEAD
+
+    def test_parse_view_selection(self):
+        assert parse_view_selection("tail") is ViewSelection.TAIL
+
+    def test_parse_propagation_variants(self):
+        assert parse_propagation("pushpull") is Propagation.PUSHPULL
+        assert parse_propagation("push-pull") is Propagation.PUSHPULL
+        assert parse_propagation("PUSH_PULL") is Propagation.PUSHPULL
+        assert parse_propagation("push") is Propagation.PUSH
+
+    def test_parse_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_peer_selection("bogus")
+        with pytest.raises(ValueError):
+            parse_propagation("teleport")

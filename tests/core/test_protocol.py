@@ -1,0 +1,231 @@
+"""Unit tests for the gossip node (Figure 1 skeleton semantics)."""
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.descriptor import NodeDescriptor
+from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.core.protocol import Exchange, GossipNode
+
+
+def make_node(label="(rand,head,pushpull)", address="me", c=5, seed=0,
+              entries=()):
+    config = ProtocolConfig.from_label(label, view_size=c)
+    node = GossipNode(address, config, random.Random(seed))
+    if entries:
+        node.view.replace([NodeDescriptor(a, h) for a, h in entries])
+    return node
+
+
+class TestBeginExchange:
+    def test_empty_view_returns_none(self):
+        assert make_node().begin_exchange() is None
+
+    def test_ages_view_before_selecting(self):
+        node = make_node(entries=[("a", 0)])
+        node.begin_exchange()
+        assert node.view.descriptor_for("a").hop_count == 1
+
+    def test_push_payload_contains_self_descriptor_with_hop_zero(self):
+        node = make_node("(rand,head,push)", entries=[("a", 1)])
+        exchange = node.begin_exchange()
+        self_entries = [d for d in exchange.payload if d.address == "me"]
+        assert len(self_entries) == 1
+        assert self_entries[0].hop_count == 0
+
+    def test_push_payload_contains_view_copies(self):
+        node = make_node("(rand,head,push)", entries=[("a", 1)])
+        exchange = node.begin_exchange()
+        sent_a = [d for d in exchange.payload if d.address == "a"][0]
+        # Aged once by begin_exchange, then copied.
+        assert sent_a.hop_count == 2
+        sent_a.hop_count = 99
+        assert node.view.descriptor_for("a").hop_count == 2
+
+    def test_pull_only_payload_is_empty(self):
+        node = make_node("(rand,head,pull)", entries=[("a", 1)])
+        exchange = node.begin_exchange()
+        assert exchange.payload == []
+
+    def test_peer_is_taken_from_view(self):
+        node = make_node(entries=[("a", 1), ("b", 2)])
+        assert node.begin_exchange().peer in {"a", "b"}
+
+    def test_exchange_is_named_tuple(self):
+        node = make_node(entries=[("a", 1)])
+        exchange = node.begin_exchange()
+        assert isinstance(exchange, Exchange)
+        assert exchange.peer == "a"
+
+    def test_counts_initiated_exchanges(self):
+        node = make_node(entries=[("a", 1)])
+        node.begin_exchange()
+        node.begin_exchange()
+        assert node.exchanges_initiated == 2
+
+
+class TestSelectPeer:
+    def test_head_policy_picks_freshest(self):
+        node = make_node("(head,head,push)", entries=[("a", 1), ("b", 9)])
+        assert node.select_peer() == "a"
+
+    def test_tail_policy_picks_oldest(self):
+        node = make_node("(tail,head,push)", entries=[("a", 1), ("b", 9)])
+        assert node.select_peer() == "b"
+
+    def test_liveness_filter_skips_dead_entries(self):
+        node = make_node("(tail,head,push)", entries=[("a", 1), ("dead", 9)])
+        node.liveness = lambda address: address != "dead"
+        assert node.select_peer() == "a"
+
+    def test_liveness_filter_all_dead_returns_none(self):
+        node = make_node(entries=[("dead", 1)])
+        node.liveness = lambda address: False
+        assert node.select_peer() is None
+        assert node.begin_exchange() is None
+
+    def test_no_liveness_filter_selects_anything(self):
+        node = make_node("(tail,head,push)", entries=[("dead", 9)])
+        assert node.select_peer() == "dead"
+
+
+class TestHandleRequest:
+    def test_increments_received_hop_counts_before_merge(self):
+        node = make_node("(rand,head,push)", c=3)
+        node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        assert node.view.descriptor_for("peer").hop_count == 1
+
+    def test_push_only_returns_no_reply(self):
+        node = make_node("(rand,head,push)")
+        assert node.handle_request("peer", [NodeDescriptor("peer", 0)]) is None
+
+    def test_pushpull_returns_reply_with_self_descriptor(self):
+        node = make_node(entries=[("a", 1)])
+        reply = node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        addresses = {d.address for d in reply}
+        assert "me" in addresses
+        assert [d for d in reply if d.address == "me"][0].hop_count == 0
+
+    def test_reply_built_before_merge(self):
+        # The paper's passive thread answers BEFORE merging the received
+        # view, so the reply must not contain the just-received entries.
+        node = make_node(entries=[("a", 1)])
+        reply = node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        assert "peer" not in {d.address for d in reply}
+
+    def test_merge_applies_view_selection_capacity(self):
+        node = make_node(c=2, entries=[("a", 1), ("b", 2)])
+        payload = [NodeDescriptor("x", 0), NodeDescriptor("y", 0)]
+        node.handle_request("peer", payload)
+        assert len(node.view) == 2
+
+    def test_head_selection_prefers_fresh_entries(self):
+        node = make_node(c=2, entries=[("old1", 5), ("old2", 6)])
+        payload = [NodeDescriptor("fresh", 0)]
+        node.handle_request("fresh", payload)
+        assert "fresh" in node.view
+
+    def test_self_descriptor_excluded_from_view(self):
+        node = make_node(entries=[("a", 1)])
+        node.handle_request("peer", [NodeDescriptor("me", 0)])
+        assert "me" not in node.view
+
+    def test_self_descriptor_kept_when_configured(self):
+        config = ProtocolConfig(
+            PeerSelection.RAND,
+            ViewSelection.HEAD,
+            Propagation.PUSHPULL,
+            view_size=5,
+            keep_self_descriptors=True,
+        )
+        node = GossipNode("me", config, random.Random(0))
+        node.handle_request("peer", [NodeDescriptor("me", 0)])
+        assert "me" in node.view
+
+    def test_duplicate_keeps_lowest_hop_count(self):
+        node = make_node(entries=[("a", 5)])
+        node.handle_request("peer", [NodeDescriptor("a", 0)])
+        assert node.view.descriptor_for("a").hop_count == 1
+
+    def test_counts_handled_requests(self):
+        node = make_node()
+        node.handle_request("p", [])
+        assert node.requests_handled == 1
+
+
+class TestHandleResponse:
+    def test_merges_with_incremented_hop_counts(self):
+        node = make_node(c=3)
+        node.handle_response("peer", [NodeDescriptor("peer", 0)])
+        assert node.view.descriptor_for("peer").hop_count == 1
+
+    def test_counts_handled_responses(self):
+        node = make_node()
+        node.handle_response("p", [])
+        assert node.responses_handled == 1
+
+
+class TestFullExchange:
+    def run_exchange(self, label):
+        a = make_node(label, address="a", entries=[("b", 1)])
+        b = make_node(label, address="b", entries=[("a", 1)])
+        exchange = a.begin_exchange()
+        assert exchange.peer == "b"
+        reply = b.handle_request("a", exchange.payload)
+        if reply is not None:
+            a.handle_response("b", reply)
+        return a, b
+
+    def test_pushpull_both_sides_learn(self):
+        a, b = self.run_exchange("(rand,head,pushpull)")
+        # b learned nothing new (only knows a already), but hop counts of
+        # fresh copies win; both views still hold the other node.
+        assert "b" in a.view
+        assert "a" in b.view
+        assert a.view.descriptor_for("b").hop_count == 1
+        assert b.view.descriptor_for("a").hop_count == 1
+
+    def test_push_only_updates_passive_side(self):
+        a = make_node("(rand,head,push)", address="a", entries=[("b", 5)])
+        b = make_node("(rand,head,push)", address="b", c=5)
+        exchange = a.begin_exchange()
+        reply = b.handle_request("a", exchange.payload)
+        assert reply is None
+        assert "a" in b.view
+        # Active side unchanged apart from aging.
+        assert a.view.descriptor_for("b").hop_count == 6
+
+    def test_pull_only_updates_active_side(self):
+        a = make_node("(rand,head,pull)", address="a", entries=[("b", 5)])
+        b = make_node("(rand,head,pull)", address="b", entries=[("c", 1)])
+        exchange = a.begin_exchange()
+        assert exchange.payload == []
+        reply = b.handle_request("a", exchange.payload)
+        a.handle_response("b", reply)
+        assert "b" in a.view  # b's self-descriptor was pulled
+        assert "c" in a.view
+        assert "a" not in b.view  # nothing was pushed
+
+    def test_information_spreads_transitively(self):
+        # a knows b, b knows c: after a<->b pushpull, a must know c.
+        a = make_node(address="a", entries=[("b", 1)])
+        b = make_node(address="b", entries=[("c", 1)])
+        exchange = a.begin_exchange()
+        reply = b.handle_request("a", exchange.payload)
+        a.handle_response("b", reply)
+        assert "c" in a.view
+
+
+class TestSamplePeer:
+    def test_returns_none_for_empty_view(self):
+        assert make_node().sample_peer() is None
+
+    def test_returns_view_members(self):
+        node = make_node(entries=[("a", 1), ("b", 2)])
+        assert {node.sample_peer() for _ in range(40)} == {"a", "b"}
+
+
+def test_repr_mentions_protocol():
+    assert "(rand,head,pushpull)" in repr(make_node())

@@ -1,0 +1,95 @@
+"""Unit tests for the two-method peer sampling API."""
+
+import random
+
+import pytest
+
+from repro.core.config import newscast
+from repro.core.descriptor import NodeDescriptor
+from repro.core.errors import NotInitializedError
+from repro.core.protocol import GossipNode
+from repro.core.service import PeerSamplingService
+
+
+def make_service(entries=(), c=5, address="me"):
+    node = GossipNode(address, newscast(view_size=c), random.Random(0))
+    if entries:
+        node.view.replace([NodeDescriptor(a, h) for a, h in entries])
+    return PeerSamplingService(node)
+
+
+class TestInit:
+    def test_seeds_view_with_contacts(self):
+        service = make_service()
+        service.init(["a", "b"])
+        assert service.initialized
+        assert set(service.node.view.addresses()) == {"a", "b"}
+
+    def test_contacts_enter_with_hop_count_zero(self):
+        service = make_service()
+        service.init(["a"])
+        assert service.node.view.descriptor_for("a").hop_count == 0
+
+    def test_own_address_filtered_from_contacts(self):
+        service = make_service()
+        service.init(["me", "a"])
+        assert "me" not in service.node.view
+
+    def test_second_init_is_noop(self):
+        service = make_service()
+        service.init(["a"])
+        service.init(["b"])
+        assert "b" not in service.node.view
+
+    def test_preseeded_view_counts_as_initialized(self):
+        service = make_service(entries=[("a", 1)])
+        assert service.initialized
+
+    def test_init_without_contacts_marks_initialized(self):
+        service = make_service()
+        service.init()
+        assert service.initialized
+        assert service.get_peer() is None
+
+    def test_contact_overflow_truncated_to_capacity(self):
+        service = make_service(c=2)
+        service.init(["a", "b", "c", "d"])
+        assert len(service.node.view) == 2
+
+
+class TestGetPeer:
+    def test_raises_before_init(self):
+        with pytest.raises(NotInitializedError):
+            make_service().get_peer()
+
+    def test_returns_none_when_no_peers_known(self):
+        service = make_service()
+        service.init()
+        assert service.get_peer() is None
+
+    def test_samples_uniformly_from_view(self):
+        service = make_service(entries=[("a", 1), ("b", 2), ("c", 3)])
+        counts = {"a": 0, "b": 0, "c": 0}
+        trials = 3000
+        for _ in range(trials):
+            counts[service.get_peer()] += 1
+        for count in counts.values():
+            assert abs(count - trials / 3) < trials / 3 * 0.2
+
+    def test_address_property(self):
+        assert make_service().address == "me"
+
+
+class TestGetPeers:
+    def test_returns_requested_count(self):
+        service = make_service(entries=[("a", 1), ("b", 2)])
+        assert len(service.get_peers(7)) == 7
+
+    def test_empty_view_returns_empty_list(self):
+        service = make_service()
+        service.init()
+        assert service.get_peers(3) == []
+
+    def test_samples_are_view_members(self):
+        service = make_service(entries=[("a", 1), ("b", 2)])
+        assert set(service.get_peers(20)) <= {"a", "b"}

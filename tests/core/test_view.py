@@ -1,0 +1,280 @@
+"""Unit and property-based tests for partial views and merge semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptor import NodeDescriptor
+from repro.core.errors import ViewError
+from repro.core.view import (
+    PartialView,
+    merge,
+    select_head,
+    select_rand,
+    select_tail,
+)
+
+
+def descriptors(*pairs):
+    return [NodeDescriptor(a, h) for a, h in pairs]
+
+
+class TestMerge:
+    def test_union_of_disjoint_views(self):
+        merged = merge(descriptors(("a", 1)), descriptors(("b", 2)))
+        assert [(d.address, d.hop_count) for d in merged] == [("a", 1), ("b", 2)]
+
+    def test_duplicate_keeps_lowest_hop_count(self):
+        merged = merge(descriptors(("a", 5)), descriptors(("a", 2)))
+        assert [(d.address, d.hop_count) for d in merged] == [("a", 2)]
+
+    def test_duplicate_in_first_collection_wins_on_tie(self):
+        first = descriptors(("a", 3))
+        second = descriptors(("a", 3))
+        merged = merge(first, second)
+        assert merged[0] is first[0]
+
+    def test_result_sorted_by_hop_count(self):
+        merged = merge(descriptors(("a", 9), ("b", 1), ("c", 4)))
+        assert [d.hop_count for d in merged] == [1, 4, 9]
+
+    def test_sort_is_stable_for_ties(self):
+        merged = merge(descriptors(("x", 2), ("y", 2), ("z", 2)))
+        assert [d.address for d in merged] == ["x", "y", "z"]
+
+    def test_exclude_drops_address(self):
+        merged = merge(descriptors(("me", 0), ("a", 1)), exclude="me")
+        assert [d.address for d in merged] == ["a"]
+
+    def test_empty_inputs(self):
+        assert merge([], []) == []
+        assert merge() == []
+
+    def test_merge_is_idempotent(self):
+        entries = descriptors(("a", 1), ("b", 2))
+        once = merge(entries)
+        twice = merge(once)
+        assert [(d.address, d.hop_count) for d in once] == [
+            (d.address, d.hop_count) for d in twice
+        ]
+
+    def test_merge_three_collections(self):
+        merged = merge(
+            descriptors(("a", 3)),
+            descriptors(("b", 1)),
+            descriptors(("a", 1), ("c", 2)),
+        )
+        assert [(d.address, d.hop_count) for d in merged] == [
+            ("a", 1),
+            ("b", 1),
+            ("c", 2),
+        ]
+
+
+class TestSelections:
+    def setup_method(self):
+        self.buffer = descriptors(("a", 1), ("b", 2), ("c", 3), ("d", 4))
+
+    def test_select_head_keeps_lowest_hops(self):
+        assert [d.address for d in select_head(self.buffer, 2)] == ["a", "b"]
+
+    def test_select_tail_keeps_highest_hops(self):
+        assert [d.address for d in select_tail(self.buffer, 2)] == ["c", "d"]
+
+    def test_select_rand_size_and_membership(self):
+        rng = random.Random(0)
+        chosen = select_rand(self.buffer, 2, rng)
+        assert len(chosen) == 2
+        assert set(chosen) <= set(self.buffer)
+
+    def test_select_rand_result_sorted(self):
+        rng = random.Random(3)
+        chosen = select_rand(self.buffer, 3, rng)
+        hops = [d.hop_count for d in chosen]
+        assert hops == sorted(hops)
+
+    def test_selections_with_capacity_larger_than_buffer(self):
+        rng = random.Random(0)
+        assert len(select_head(self.buffer, 10)) == 4
+        assert len(select_tail(self.buffer, 10)) == 4
+        assert len(select_rand(self.buffer, 10, rng)) == 4
+
+    def test_select_rand_is_uniform_over_elements(self):
+        rng = random.Random(42)
+        counts = {d.address: 0 for d in self.buffer}
+        trials = 4000
+        for _ in range(trials):
+            for d in select_rand(self.buffer, 2, rng):
+                counts[d.address] += 1
+        expected = trials * 2 / len(self.buffer)
+        for count in counts.values():
+            assert abs(count - expected) < expected * 0.15
+
+
+class TestPartialView:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ViewError):
+            PartialView(0)
+
+    def test_initial_entries_deduplicated_and_ordered(self):
+        view = PartialView(5, descriptors(("a", 3), ("b", 1), ("a", 2)))
+        assert view.addresses() == ["b", "a"]
+        assert view.descriptor_for("a").hop_count == 2
+
+    def test_initial_overflow_rejected(self):
+        with pytest.raises(ViewError):
+            PartialView(1, descriptors(("a", 1), ("b", 2)))
+
+    def test_len_iter_contains(self):
+        view = PartialView(5, descriptors(("a", 1), ("b", 2)))
+        assert len(view) == 2
+        assert "a" in view
+        assert "missing" not in view
+        assert [d.address for d in view] == ["a", "b"]
+
+    def test_entries_returns_copy_of_list(self):
+        view = PartialView(5, descriptors(("a", 1)))
+        entries = view.entries
+        entries.append(NodeDescriptor("b", 2))
+        assert len(view) == 1
+
+    def test_head_and_tail(self):
+        view = PartialView(5, descriptors(("a", 1), ("b", 9)))
+        assert view.head().address == "a"
+        assert view.tail().address == "b"
+
+    def test_head_and_tail_empty(self):
+        view = PartialView(5)
+        assert view.head() is None
+        assert view.tail() is None
+
+    def test_random_entry(self):
+        view = PartialView(5, descriptors(("a", 1), ("b", 2)))
+        rng = random.Random(0)
+        seen = {view.random_entry(rng).address for _ in range(50)}
+        assert seen == {"a", "b"}
+
+    def test_random_entry_empty(self):
+        assert PartialView(3).random_entry(random.Random(0)) is None
+
+    def test_replace_enforces_capacity(self):
+        view = PartialView(2)
+        with pytest.raises(ViewError):
+            view.replace(descriptors(("a", 1), ("b", 2), ("c", 3)))
+
+    def test_replace_deduplicates(self):
+        view = PartialView(2)
+        view.replace(descriptors(("a", 5), ("a", 1)))
+        assert len(view) == 1
+        assert view.descriptor_for("a").hop_count == 1
+
+    def test_increase_hop_counts(self):
+        view = PartialView(3, descriptors(("a", 0), ("b", 2)))
+        view.increase_hop_counts()
+        assert [d.hop_count for d in view] == [1, 3]
+
+    def test_remove_existing(self):
+        view = PartialView(3, descriptors(("a", 1), ("b", 2)))
+        assert view.remove("a") is True
+        assert view.addresses() == ["b"]
+
+    def test_remove_missing(self):
+        view = PartialView(3, descriptors(("a", 1)))
+        assert view.remove("zzz") is False
+        assert len(view) == 1
+
+    def test_clear(self):
+        view = PartialView(3, descriptors(("a", 1)))
+        view.clear()
+        assert len(view) == 0
+
+    def test_is_full(self):
+        view = PartialView(2, descriptors(("a", 1)))
+        assert not view.is_full()
+        view.replace(descriptors(("a", 1), ("b", 2)))
+        assert view.is_full()
+
+    def test_repr(self):
+        assert "capacity=3" in repr(PartialView(3))
+
+
+# -- property-based tests ---------------------------------------------------
+
+addresses_st = st.integers(min_value=0, max_value=30)
+descriptor_st = st.builds(
+    NodeDescriptor, addresses_st, st.integers(min_value=0, max_value=100)
+)
+descriptor_lists = st.lists(descriptor_st, max_size=40)
+
+
+@given(descriptor_lists, descriptor_lists)
+def test_merge_dedupes_and_orders(first, second):
+    merged = merge(first, second)
+    seen_addresses = [d.address for d in merged]
+    assert len(seen_addresses) == len(set(seen_addresses))
+    hops = [d.hop_count for d in merged]
+    assert hops == sorted(hops)
+
+
+@given(descriptor_lists, descriptor_lists)
+def test_merge_keeps_minimum_hop_count_per_address(first, second):
+    merged = merge(first, second)
+    best = {}
+    for d in list(first) + list(second):
+        if d.address not in best or d.hop_count < best[d.address]:
+            best[d.address] = d.hop_count
+    assert {d.address: d.hop_count for d in merged} == best
+
+
+@given(descriptor_lists)
+def test_merge_is_idempotent_property(entries):
+    once = merge(entries)
+    twice = merge(once)
+    assert [(d.address, d.hop_count) for d in once] == [
+        (d.address, d.hop_count) for d in twice
+    ]
+
+
+@given(
+    descriptor_lists,
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60)
+def test_all_selections_respect_capacity(entries, c, seed):
+    buffer = merge(entries)
+    rng = random.Random(seed)
+    for selection in (
+        select_head(buffer, c),
+        select_tail(buffer, c),
+        select_rand(buffer, c, rng),
+    ):
+        assert len(selection) == min(c, len(buffer))
+        assert set(d.address for d in selection) <= {
+            d.address for d in buffer
+        }
+
+
+@given(descriptor_lists, st.integers(min_value=1, max_value=10))
+def test_head_selection_minimizes_hop_counts(entries, c):
+    buffer = merge(entries)
+    chosen = select_head(buffer, c)
+    if len(buffer) > c:
+        max_chosen = max(d.hop_count for d in chosen)
+        dropped = buffer[c:]
+        assert all(d.hop_count >= max_chosen for d in dropped)
+
+
+@given(descriptor_lists)
+@settings(max_examples=50)
+def test_view_invariants_after_replace(entries):
+    distinct = merge(entries)
+    view = PartialView(max(1, len(distinct)))
+    view.replace(distinct)
+    hops = [d.hop_count for d in view]
+    assert hops == sorted(hops)
+    addresses = view.addresses()
+    assert len(addresses) == len(set(addresses))
+    assert len(view) <= view.capacity

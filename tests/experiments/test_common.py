@@ -1,0 +1,99 @@
+"""Unit tests for shared experiment infrastructure."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments.common import (
+    SCALES,
+    Scale,
+    autocorrelation_protocols,
+    converged_engine,
+    current_scale,
+    growing_plot_protocols,
+    push_protocols,
+    studied_protocols,
+)
+
+
+class TestScales:
+    def test_three_presets_exist(self):
+        assert set(SCALES) == {"quick", "default", "full"}
+
+    def test_full_matches_paper_parameters(self):
+        full = SCALES["full"]
+        assert full.n_nodes == 10_000
+        assert full.view_size == 30
+        assert full.cycles == 300
+        assert full.runs == 100
+        assert full.traced_nodes == 50
+        assert full.growth_rate == 100
+
+    def test_growth_rate_overflows_view_size(self):
+        # The paper's critical proportion: join rate > view size, so the
+        # contact node's view overflows during growth (see Table 1).
+        for scale in SCALES.values():
+            assert scale.growth_rate > scale.view_size
+
+    def test_current_scale_explicit_name(self):
+        assert current_scale("full").name == "full"
+
+    def test_current_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert current_scale().name == "default"
+
+    def test_current_scale_default_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "quick"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            current_scale("gigantic")
+
+
+class TestProtocolSets:
+    def test_studied_protocols(self):
+        protocols = studied_protocols(10)
+        assert len(protocols) == 8
+        assert all(p.view_size == 10 for p in protocols)
+
+    def test_push_protocols_match_table1_rows(self):
+        labels = [p.label for p in push_protocols(10)]
+        assert labels == [
+            "(rand,head,push)",
+            "(rand,rand,push)",
+            "(tail,head,push)",
+            "(tail,rand,push)",
+        ]
+
+    def test_growing_plot_protocols_exclude_unstable(self):
+        labels = {p.label for p in growing_plot_protocols(10)}
+        assert len(labels) == 6
+        assert "(rand,head,push)" not in labels
+        assert "(tail,head,push)" not in labels
+
+    def test_autocorrelation_protocols_are_rand_peer_selection(self):
+        protocols = autocorrelation_protocols(10)
+        assert len(protocols) == 4
+        assert all(p.peer_selection.value == "rand" for p in protocols)
+
+
+class TestConvergedEngine:
+    def test_runs_requested_cycles(self):
+        scale = Scale(
+            name="test",
+            n_nodes=40,
+            view_size=6,
+            cycles=5,
+            growth_cycles=2,
+            runs=1,
+            traced_nodes=3,
+            removal_repeats=1,
+            metrics_every=1,
+            clustering_sample=None,
+            path_sources=None,
+        )
+        from repro.core.config import newscast
+
+        engine = converged_engine(newscast(6), scale, seed=0)
+        assert engine.cycle == 5
+        assert len(engine) == 40

@@ -1,0 +1,49 @@
+"""Unit tests for the CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "table1", "figure7", "--scale", "quick", "--seed", "3"]
+        )
+        assert args.command == "run"
+        assert args.ids == ["table1", "figure7"]
+        assert args.scale == "quick"
+        assert args.seed == 3
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in (
+            "table1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "table2",
+            "figure5",
+            "figure6",
+            "figure7",
+        ):
+            assert experiment_id in output
+
+    def test_unknown_experiment_returns_error(self, capsys):
+        assert main(["run", "figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

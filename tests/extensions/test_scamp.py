@@ -1,0 +1,105 @@
+"""Unit and behavioural tests for the SCAMP extension."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError, NodeNotFoundError
+from repro.extensions.scamp import ScampConfig, ScampNetwork, build_scamp_network
+from repro.graph.components import is_connected
+from repro.graph.snapshot import GraphSnapshot
+
+
+class TestScampConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScampConfig(c=-1)
+        with pytest.raises(ConfigurationError):
+            ScampConfig(ttl=0)
+
+
+class TestMembership:
+    def test_first_node_joins_without_contact(self):
+        network = ScampNetwork(seed=0)
+        first = network.add_node()
+        assert len(network) == 1
+        assert network.view_of(first) == []
+
+    def test_join_through_contact_creates_links(self):
+        network = ScampNetwork(seed=0)
+        first = network.add_node()
+        second = network.add_node(contact=first)
+        assert first in network.view_of(second)
+        assert second in network.view_of(first)
+
+    def test_duplicate_address_rejected(self):
+        network = ScampNetwork(seed=0)
+        network.add_node("a")
+        with pytest.raises(ConfigurationError):
+            network.add_node("a")
+
+    def test_unknown_contact_rejected(self):
+        network = ScampNetwork(seed=0)
+        with pytest.raises(NodeNotFoundError):
+            network.add_node(contact="ghost")
+
+    def test_views_never_contain_self(self):
+        network = build_scamp_network(100, seed=1)
+        for address in network.addresses():
+            assert address not in network.view_of(address)
+
+    def test_graceful_leave_rewires_in_links(self):
+        network = build_scamp_network(50, seed=2)
+        victim = network.addresses()[10]
+        network.remove_node(victim, graceful=True)
+        assert victim not in network
+        # Graceful unsubscription leaves no dead links behind.
+        assert network.dead_link_count() == 0
+
+    def test_crash_leaves_dead_links(self):
+        network = build_scamp_network(50, seed=3)
+        victim = network.addresses()[5]
+        had_in_links = sum(
+            victim in network.view_of(a)
+            for a in network.addresses()
+            if a != victim
+        )
+        network.remove_node(victim, graceful=False)
+        assert network.dead_link_count() == had_in_links
+
+
+class TestEmergentProperties:
+    def test_network_is_connected(self):
+        network = build_scamp_network(200, seed=4)
+        snapshot = GraphSnapshot.from_views(network.views())
+        assert is_connected(snapshot)
+
+    def test_view_size_scales_logarithmically(self):
+        # SCAMP's self-sizing property: mean view size ~ (c+1) * ln(N).
+        network = build_scamp_network(300, config=ScampConfig(c=0), seed=5)
+        mean = network.mean_view_size()
+        expected = math.log(300)
+        assert expected * 0.5 < mean < expected * 3.0
+
+    def test_c_parameter_grows_views(self):
+        small = build_scamp_network(150, config=ScampConfig(c=0), seed=6)
+        large = build_scamp_network(150, config=ScampConfig(c=3), seed=6)
+        assert large.mean_view_size() > small.mean_view_size()
+
+    def test_get_peer_returns_live_view_member(self):
+        network = build_scamp_network(30, seed=7)
+        address = network.addresses()[0]
+        peer = network.get_peer(address)
+        assert peer in network.view_of(address)
+
+    def test_get_peer_skips_dead_members(self):
+        network = ScampNetwork(seed=8)
+        a = network.add_node()
+        b = network.add_node(contact=a)
+        network.remove_node(b, graceful=False)
+        assert network.get_peer(a) is None
+
+    def test_deterministic_given_seed(self):
+        views_a = build_scamp_network(80, seed=9).views()
+        views_b = build_scamp_network(80, seed=9).views()
+        assert views_a == views_b

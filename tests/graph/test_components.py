@@ -1,0 +1,96 @@
+"""Unit tests for connectivity analysis."""
+
+import random
+
+import pytest
+
+from repro.graph.components import (
+    component_labels,
+    component_sizes,
+    is_connected,
+    is_partitioned,
+    largest_component_size,
+    nodes_outside_largest,
+    num_components,
+)
+from repro.graph.generators import erdos_renyi, ring_lattice
+from repro.graph.snapshot import GraphSnapshot
+
+
+def two_islands():
+    return GraphSnapshot.from_edges(
+        list(range(7)),
+        [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)],
+    )
+
+
+class TestComponents:
+    def test_connected_graph(self):
+        snapshot = ring_lattice(10, 2)
+        assert num_components(snapshot) == 1
+        assert is_connected(snapshot)
+        assert not is_partitioned(snapshot)
+        assert largest_component_size(snapshot) == 10
+        assert nodes_outside_largest(snapshot) == 0
+
+    def test_two_islands_and_isolated_node(self):
+        snapshot = two_islands()
+        assert num_components(snapshot) == 3
+        assert component_sizes(snapshot) == [3, 3, 1]
+        assert nodes_outside_largest(snapshot) == 4
+        assert is_partitioned(snapshot)
+
+    def test_labels_partition_the_nodes(self):
+        snapshot = two_islands()
+        labels = component_labels(snapshot)
+        assert len(labels) == 7
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+        assert labels[6] not in (labels[0], labels[3])
+
+    def test_empty_graph(self):
+        snapshot = GraphSnapshot.from_views({})
+        assert num_components(snapshot) == 0
+        assert component_sizes(snapshot) == []
+        assert largest_component_size(snapshot) == 0
+        assert nodes_outside_largest(snapshot) == 0
+        assert is_connected(snapshot)  # vacuously
+
+    def test_single_node(self):
+        snapshot = GraphSnapshot.from_views({"a": []})
+        assert num_components(snapshot) == 1
+        assert is_connected(snapshot)
+
+    def test_all_isolated(self):
+        snapshot = GraphSnapshot.from_edges(list(range(5)), [])
+        assert num_components(snapshot) == 5
+        assert component_sizes(snapshot) == [1] * 5
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        snapshot = erdos_renyi(80, 0.03, random.Random(11))
+        ours = component_sizes(snapshot)
+        theirs = sorted(
+            (len(c) for c in nx.connected_components(snapshot.to_networkx())),
+            reverse=True,
+        )
+        assert ours == theirs
+
+    def test_pure_python_fallback_agrees_with_scipy(self, monkeypatch):
+        import repro.graph.components as components_module
+
+        snapshot = erdos_renyi(60, 0.04, random.Random(13))
+        with_scipy = component_sizes(snapshot)
+        monkeypatch.setattr(components_module, "_HAVE_SCIPY", False)
+        without_scipy = component_sizes(snapshot)
+        assert with_scipy == without_scipy
+
+    def test_removal_disconnects(self):
+        snapshot = GraphSnapshot.from_edges(
+            list(range(5)), [(0, 1), (1, 2), (2, 3), (3, 4)]
+        )
+        assert is_connected(snapshot)
+        remaining = snapshot.remove_nodes([2])
+        assert is_partitioned(remaining)
+        assert component_sizes(remaining) == [2, 2]

@@ -1,0 +1,118 @@
+"""Unit tests for reference topology generators."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.graph.components import is_connected
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    random_view_topology,
+    ring_lattice,
+    star,
+)
+from repro.graph.metrics import average_degree, clustering_coefficient
+
+
+class TestRandomViewTopology:
+    def test_degree_close_to_expectation(self):
+        from repro.baselines.random_topology import expected_average_degree
+
+        n, c = 400, 12
+        snapshot = random_view_topology(n, c, random.Random(0))
+        assert average_degree(snapshot) == pytest.approx(
+            expected_average_degree(n, c), rel=0.05
+        )
+
+    def test_minimum_degree_at_least_view_size(self):
+        # Every node has c out-links, so the undirected degree is >= c.
+        snapshot = random_view_topology(200, 8, random.Random(1))
+        assert int(snapshot.degrees().min()) >= 8
+
+    def test_connected_for_reasonable_parameters(self):
+        snapshot = random_view_topology(300, 10, random.Random(2))
+        assert is_connected(snapshot)
+
+    def test_small_population_capped(self):
+        snapshot = random_view_topology(3, 10, random.Random(3))
+        assert snapshot.edge_count == 3  # triangle
+
+    def test_single_node(self):
+        snapshot = random_view_topology(1, 5, random.Random(0))
+        assert snapshot.n == 1
+        assert snapshot.edge_count == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            random_view_topology(0, 5)
+
+
+class TestRingLattice:
+    def test_each_node_has_c_neighbours(self):
+        snapshot = ring_lattice(20, 4)
+        assert set(snapshot.degrees().tolist()) == {4}
+
+    def test_odd_c_gives_asymmetric_views_but_symmetric_graph(self):
+        snapshot = ring_lattice(10, 3)
+        # Views are asymmetric (distance +2 chosen before -2), but the
+        # undirected degrees even out to either 3 or 4.
+        assert set(snapshot.degrees().tolist()) <= {3, 4}
+
+    def test_high_clustering(self):
+        snapshot = ring_lattice(100, 6)
+        assert clustering_coefficient(snapshot) > 0.4
+
+    def test_connected(self):
+        assert is_connected(ring_lattice(50, 4))
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            ring_lattice(1, 2)
+
+
+class TestStar:
+    def test_structure(self):
+        snapshot = star(8)
+        assert snapshot.degree_of(0) == 7
+        assert all(snapshot.degree_of(i) == 1 for i in range(1, 8))
+
+    def test_custom_center(self):
+        snapshot = star(5, center=3)
+        assert snapshot.degree_of(3) == 4
+
+    def test_invalid_center(self):
+        with pytest.raises(ConfigurationError):
+            star(5, center=9)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ConfigurationError):
+            star(1)
+
+
+class TestErdosRenyi:
+    def test_edge_probability(self):
+        n, p = 60, 0.2
+        snapshot = erdos_renyi(n, p, random.Random(5))
+        expected = p * n * (n - 1) / 2
+        assert snapshot.edge_count == pytest.approx(expected, rel=0.2)
+
+    def test_extreme_probabilities(self):
+        assert erdos_renyi(10, 0.0).edge_count == 0
+        assert erdos_renyi(10, 1.0).edge_count == 45
+
+    def test_validates_probability(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 1.5)
+
+
+class TestCompleteGraph:
+    def test_structure(self):
+        snapshot = complete_graph(6)
+        assert snapshot.edge_count == 15
+        assert clustering_coefficient(snapshot) == pytest.approx(1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            complete_graph(0)

@@ -1,0 +1,97 @@
+"""Unit tests for small-world characterization."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.generators import random_view_topology, ring_lattice
+from repro.graph.smallworld import (
+    SmallWorldReport,
+    expected_random_clustering,
+    expected_random_path_length,
+    small_world_report,
+)
+
+
+class TestAnalyticExpectations:
+    def test_expected_clustering(self):
+        assert expected_random_clustering(100, 10) == pytest.approx(0.1)
+        assert expected_random_clustering(0, 10) == 0.0
+
+    def test_expected_path_length(self):
+        assert expected_random_path_length(1000, 10) == pytest.approx(3.0)
+        assert math.isnan(expected_random_path_length(1, 10))
+        assert math.isnan(expected_random_path_length(100, 1))
+
+
+class TestReportProperties:
+    def make_report(self, clustering, random_clustering, path=2.0, random_path=2.0):
+        return SmallWorldReport(
+            n=100,
+            average_degree=10,
+            clustering=clustering,
+            path_length=path,
+            random_clustering=random_clustering,
+            random_path_length=random_path,
+        )
+
+    def test_sigma_for_equal_graphs_is_one(self):
+        report = self.make_report(0.05, 0.05)
+        assert report.sigma == pytest.approx(1.0)
+        assert not report.is_small_world
+
+    def test_sigma_for_clustered_graph(self):
+        report = self.make_report(0.5, 0.05)
+        assert report.sigma == pytest.approx(10.0)
+        assert report.is_small_world
+
+    def test_zero_random_clustering_handled(self):
+        report = self.make_report(0.5, 0.0)
+        assert report.clustering_ratio == float("inf")
+
+    def test_nan_path_ratio_handled(self):
+        report = self.make_report(0.5, 0.05, random_path=float("nan"))
+        assert math.isnan(report.sigma)
+
+
+class TestSmallWorldReport:
+    def test_random_topology_is_not_small_world(self):
+        snapshot = random_view_topology(300, 10, random.Random(0))
+        report = small_world_report(
+            snapshot,
+            rng=random.Random(1),
+            clustering_sample=None,
+            path_sources=None,
+        )
+        assert report.sigma == pytest.approx(1.0, abs=0.35)
+
+    def test_converged_overlay_is_small_world(self):
+        # The paper's headline structural result, in miniature: a converged
+        # gossip overlay is a small world (clustering above random, path
+        # length comparable).
+        from repro.core.config import newscast
+        from repro.graph.snapshot import GraphSnapshot
+        from repro.simulation.engine import CycleEngine
+        from repro.simulation.scenarios import random_bootstrap
+
+        engine = CycleEngine(newscast(view_size=8), seed=4)
+        random_bootstrap(engine, 300)
+        engine.run(40)
+        report = small_world_report(
+            GraphSnapshot.from_engine(engine),
+            rng=random.Random(5),
+            clustering_sample=None,
+            path_sources=None,
+        )
+        assert report.clustering_ratio > 1.5
+        assert report.path_length_ratio < 1.5
+        assert report.is_small_world
+
+    def test_analytic_baseline_mode(self):
+        snapshot = ring_lattice(100, 6)
+        report = small_world_report(
+            snapshot, rng=random.Random(2), empirical_baseline=False
+        )
+        assert report.random_clustering == pytest.approx(6 / 100, rel=0.2)
+        assert report.n == 100

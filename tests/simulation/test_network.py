@@ -1,0 +1,87 @@
+"""Unit tests for latency and loss models."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.simulation.network import (
+    BernoulliLoss,
+    ConstantLatency,
+    ExponentialLatency,
+    NoLoss,
+    UniformLatency,
+)
+
+
+class TestConstantLatency:
+    def test_returns_fixed_delay(self):
+        model = ConstantLatency(2.5)
+        assert model.sample(random.Random(0)) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1)
+
+    def test_zero_allowed(self):
+        assert ConstantLatency(0).sample(random.Random(0)) == 0
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self):
+        model = UniformLatency(1.0, 2.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 2.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestExponentialLatency:
+    def test_mean_approximately_correct(self):
+        model = ExponentialLatency(2.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLatency(0)
+
+
+class TestLossModels:
+    def test_no_loss_never_drops(self):
+        model = NoLoss()
+        rng = random.Random(0)
+        assert not any(model.drops(rng) for _ in range(100))
+
+    def test_bernoulli_extremes(self):
+        rng = random.Random(0)
+        assert not any(BernoulliLoss(0.0).drops(rng) for _ in range(100))
+        assert all(BernoulliLoss(1.0).drops(rng) for _ in range(100))
+
+    def test_bernoulli_rate(self):
+        model = BernoulliLoss(0.3)
+        rng = random.Random(3)
+        drops = sum(model.drops(rng) for _ in range(10000))
+        assert drops / 10000 == pytest.approx(0.3, abs=0.02)
+
+    def test_bernoulli_validates_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1)
+
+
+def test_reprs_are_informative():
+    assert "2.5" in repr(ConstantLatency(2.5))
+    assert "0.3" in repr(BernoulliLoss(0.3))
+    assert "NoLoss" in repr(NoLoss())
+    assert "1" in repr(UniformLatency(1, 2))
+    assert "4" in repr(ExponentialLatency(4))

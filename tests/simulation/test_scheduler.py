@@ -1,0 +1,67 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.simulation.scheduler import EventScheduler
+
+
+class TestEventScheduler:
+    def test_pop_in_time_order(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(3.0, "late")
+        scheduler.schedule(1.0, "early")
+        scheduler.schedule(2.0, "middle")
+        assert [scheduler.pop() for _ in range(3)] == [
+            "early",
+            "middle",
+            "late",
+        ]
+
+    def test_pop_advances_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(2.5, "x")
+        scheduler.pop()
+        assert scheduler.now == 2.5
+
+    def test_fifo_among_simultaneous_events(self):
+        scheduler = EventScheduler()
+        for name in "abc":
+            scheduler.schedule(1.0, name)
+        assert [scheduler.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_schedule_relative_to_current_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, "first")
+        scheduler.pop()
+        scheduler.schedule(1.0, "second")
+        assert scheduler.peek_time() == 2.0
+
+    def test_schedule_at_absolute_time(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, "x")
+        assert scheduler.peek_time() == 5.0
+
+    def test_schedule_at_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, "x")
+        scheduler.pop()
+        with pytest.raises(SimulationError):
+            scheduler.schedule_at(0.5, "y")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule(-1.0, "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert EventScheduler().peek_time() is None
+
+    def test_len(self):
+        scheduler = EventScheduler()
+        assert len(scheduler) == 0
+        scheduler.schedule(1.0, "x")
+        assert len(scheduler) == 1

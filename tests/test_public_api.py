@@ -1,0 +1,43 @@
+"""The package's public surface: imports, exports, version."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_top_level_workflow():
+    engine = repro.CycleEngine(repro.newscast(view_size=8), seed=0)
+    from repro.simulation.scenarios import random_bootstrap
+
+    random_bootstrap(engine, 50)
+    engine.run(5)
+    service = engine.service(engine.addresses()[0])
+    assert isinstance(service, repro.PeerSamplingService)
+    assert service.get_peer() in engine
+
+
+def test_named_protocols_exported():
+    assert repro.newscast().label == "(rand,head,pushpull)"
+    assert repro.lpbcast().label == "(rand,rand,push)"
+    assert len(repro.STUDIED_PROTOCOLS) == 8
+    assert len(repro.ALL_PROTOCOLS) == 27
+
+
+def test_subpackages_importable():
+    import repro.baselines
+    import repro.core
+    import repro.experiments
+    import repro.extensions
+    import repro.graph
+    import repro.simulation
+    import repro.stats
+
+    assert repro.graph.GraphSnapshot is not None
+    assert repro.stats.autocorrelation is not None
