@@ -1,0 +1,146 @@
+"""Fast-engine benchmark: array-backed engine vs the reference engine.
+
+Two claims are demonstrated (and asserted):
+
+1. at N = 10,000 (paper full scale; 2,000 under ``REPRO_SCALE=quick``)
+   the fast engine is at least 5x faster than ``CycleEngine`` when the
+   compiled C core is available -- while producing *byte-identical*
+   overlays for the same seed;
+2. a 100,000-node overlay -- 10x the paper's N -- runs in seconds.
+
+Run ``REPRO_NO_ACCEL=1`` to measure the pure-Python fallback (the 5x
+assertion then relaxes to a leaner sanity bound, since the fallback's
+win is memory and modest speed, not an order of magnitude).
+"""
+
+import time
+
+from benchmarks.conftest import emit_report
+from repro.core.config import ProtocolConfig
+from repro.experiments.reporting import format_table
+from repro.simulation.engine import CycleEngine
+from repro.simulation.fast import FastCycleEngine
+from repro.simulation.scenarios import random_bootstrap
+
+VIEW_SIZE = 30
+COMPARE_CYCLES = 3
+BIG_N = 100_000
+LABELS = [
+    "(rand,head,pushpull)",   # newscast, the paper's flagship instance
+    "(rand,rand,pushpull)",
+    "(tail,rand,push)",
+]
+
+
+def _views_checksum(engine):
+    total = 0
+    for address, entries in engine.views().items():
+        for descriptor in entries:
+            total = (
+                total * 1_000_003
+                + hash((address, descriptor.address, descriptor.hop_count))
+            ) & 0xFFFFFFFFFFFF
+    return total
+
+
+def _timed_run(engine, n_nodes, cycles):
+    random_bootstrap(engine, n_nodes)
+    started = time.perf_counter()
+    engine.run(cycles)
+    return time.perf_counter() - started
+
+
+def test_fast_engine_speedup(benchmark, scale):
+    n_nodes = 2_000 if scale.name == "quick" else 10_000
+
+    def run():
+        rows = []
+        speedups = {}
+        identical = True
+        for label in LABELS:
+            config = ProtocolConfig.from_label(label, VIEW_SIZE)
+            fast = FastCycleEngine(config, seed=1)
+            reference = CycleEngine(config, seed=1)
+            fast_time = _timed_run(fast, n_nodes, COMPARE_CYCLES)
+            ref_time = _timed_run(reference, n_nodes, COMPARE_CYCLES)
+            identical = identical and (
+                _views_checksum(fast) == _views_checksum(reference)
+                and fast.completed_exchanges == reference.completed_exchanges
+            )
+            speedups[label] = ref_time / fast_time
+            rows.append(
+                [
+                    label,
+                    ref_time / COMPARE_CYCLES * 1000,
+                    fast_time / COMPARE_CYCLES * 1000,
+                    ref_time / fast_time,
+                ]
+            )
+        return rows, speedups, identical, fast.accelerated
+
+    rows, speedups, identical, accelerated = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    backend = "C core" if accelerated else "pure Python (no C compiler)"
+    report = format_table(
+        ["protocol", "cycle ms/cyc", "fast ms/cyc", "speedup"],
+        rows,
+        precision=2,
+        title=(
+            f"FastCycleEngine vs CycleEngine (N={n_nodes}, "
+            f"c={VIEW_SIZE}, {COMPARE_CYCLES} cycles, backend: {backend})"
+        ),
+    )
+    emit_report("fast_engine_speedup", report)
+
+    # identical overlays for identical seeds -- the differential contract.
+    assert identical
+    if accelerated:
+        # acceptance bar: >= 5x on every measured protocol instance.
+        for label, speedup in speedups.items():
+            assert speedup >= 5.0, (label, speedup)
+    else:
+        # pure-Python fallback: its win is memory, not wall clock, so only
+        # sanity-check against a gross regression (noisy CI runners can
+        # push small-N timings either way around 1.0).
+        for label, speedup in speedups.items():
+            assert speedup >= 0.5, (label, speedup)
+
+
+def test_fast_engine_100k_nodes(benchmark, scale):
+    cycles = 2 if scale.name == "quick" else 10
+    config = ProtocolConfig.from_label("(rand,head,pushpull)", VIEW_SIZE)
+
+    def run():
+        engine = FastCycleEngine(config, seed=1)
+        boot_started = time.perf_counter()
+        random_bootstrap(engine, BIG_N)
+        boot_time = time.perf_counter() - boot_started
+        run_started = time.perf_counter()
+        engine.run(cycles)
+        run_time = time.perf_counter() - run_started
+        return boot_time, run_time, engine.completed_exchanges, engine.accelerated
+
+    boot_time, run_time, completed, accelerated = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    backend = "C core" if accelerated else "pure Python"
+    report = format_table(
+        ["phase", "seconds", "exchanges/s"],
+        [
+            ["bootstrap", boot_time, 0.0],
+            [f"{cycles} cycles", run_time, completed / run_time],
+        ],
+        precision=2,
+        title=(
+            f"FastCycleEngine at N={BIG_N:,} (c={VIEW_SIZE}, "
+            f"backend: {backend})"
+        ),
+    )
+    emit_report("fast_engine_100k", report)
+    assert completed == BIG_N * cycles  # every node gossiped every cycle
+    # "completing in seconds": generous ceiling so CI boxes stay green.
+    if accelerated:
+        assert run_time < 30.0
+    else:
+        assert run_time < 600.0

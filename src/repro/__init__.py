@@ -11,9 +11,9 @@ The package provides:
 - :mod:`repro.core` -- the generic gossip protocol skeleton (paper Fig. 1),
   its three policy dimensions (peer selection, view selection, view
   propagation) and the two-method peer sampling API (``init`` / ``get_peer``).
-- :mod:`repro.simulation` -- cycle-driven and event-driven simulation
-  engines, network models, churn injection and the paper's three bootstrap
-  scenarios.
+- :mod:`repro.simulation` -- cycle-driven, event-driven and array-backed
+  fast simulation engines, network models, churn injection and the paper's
+  three bootstrap scenarios.
 - :mod:`repro.graph` -- graph snapshots of the overlay and the metrics the
   paper evaluates (degree distribution, clustering coefficient, average path
   length, connectivity).
@@ -52,14 +52,16 @@ from repro.core.service import PeerSamplingService
 from repro.core.view import PartialView
 from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
+from repro.simulation.fast import FastCycleEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALL_PROTOCOLS",
     "STUDIED_PROTOCOLS",
     "CycleEngine",
     "EventEngine",
+    "FastCycleEngine",
     "GossipNode",
     "NodeDescriptor",
     "PartialView",

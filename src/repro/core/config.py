@@ -33,7 +33,8 @@ DEFAULT_VIEW_SIZE = 30
 """The paper's view capacity ``c`` (Section 4.3)."""
 
 _LABEL_RE = re.compile(
-    r"^\(?\s*(?P<ps>[a-z]+)\s*,\s*(?P<vs>[a-z]+)\s*,\s*(?P<vp>[a-z-]+)\s*\)?$"
+    r"^\(?\s*(?P<ps>[a-z]+)\s*,\s*(?P<vs>[a-z]+)\s*,\s*(?P<vp>[a-z-]+)\s*\)?"
+    r"(?:\s*;\s*h(?P<healer>\d+)s(?P<swapper>\d+))?$"
 )
 
 
@@ -55,6 +56,19 @@ class ProtocolConfig:
         If ``True``, a node's own descriptor may enter its view through
         merges.  The default ``False`` matches Newscast and the reference
         implementations; the ablation benchmark quantifies the difference.
+    healer:
+        The *healer* parameter ``H`` of the authors' later formalization
+        (Jelasity et al., ACM TOCS 2007, "Gossip-based Peer Sampling").
+        When a merge buffer overflows the capacity, up to ``H`` of the
+        *oldest* descriptors (highest hop count) are dropped before the
+        view-selection truncation runs, accelerating dead-link removal.
+        The default 0 reproduces the Middleware 2004 protocol exactly.
+    swapper:
+        The *swapper* parameter ``S`` (same formalization): after the
+        healer step, up to ``S`` descriptors that survive from the node's
+        *own previous view* -- the entries it just sent to its exchange
+        partner, freshest first -- are dropped, biasing the view towards
+        received entries ("swap" semantics).  Default 0, see ``healer``.
     """
 
     peer_selection: PeerSelection
@@ -62,11 +76,21 @@ class ProtocolConfig:
     propagation: Propagation
     view_size: int = DEFAULT_VIEW_SIZE
     keep_self_descriptors: bool = False
+    healer: int = 0
+    swapper: int = 0
 
     def __post_init__(self) -> None:
         if self.view_size < 1:
             raise ConfigurationError(
                 f"view_size must be >= 1, got {self.view_size}"
+            )
+        if self.healer < 0:
+            raise ConfigurationError(
+                f"healer (H) must be >= 0, got {self.healer}"
+            )
+        if self.swapper < 0:
+            raise ConfigurationError(
+                f"swapper (S) must be >= 0, got {self.swapper}"
             )
         if not isinstance(self.peer_selection, PeerSelection):
             raise ConfigurationError(
@@ -97,11 +121,18 @@ class ProtocolConfig:
 
     @property
     def label(self) -> str:
-        """The paper's tuple notation, e.g. ``(rand,head,pushpull)``."""
-        return (
+        """The paper's tuple notation, e.g. ``(rand,head,pushpull)``.
+
+        Nonzero healer/swapper parameters are appended as ``;H<h>S<s>``
+        (they are not part of the Middleware 2004 design space).
+        """
+        base = (
             f"({self.peer_selection.value},{self.view_selection.value},"
             f"{self.propagation.value})"
         )
+        if self.healer or self.swapper:
+            return f"{base};H{self.healer}S{self.swapper}"
+        return base
 
     def replace(self, **changes: object) -> "ProtocolConfig":
         """Return a copy of this config with ``changes`` applied."""
@@ -113,8 +144,13 @@ class ProtocolConfig:
     ) -> "ProtocolConfig":
         """Parse the paper's tuple notation.
 
+        Round-trips :attr:`label` exactly, including the ``;H<h>S<s>``
+        suffix of nonzero healer/swapper configurations.
+
         >>> ProtocolConfig.from_label("(rand,head,pushpull)").label
         '(rand,head,pushpull)'
+        >>> ProtocolConfig.from_label("(rand,head,pushpull);H1S3").swapper
+        3
         """
         match = _LABEL_RE.match(label.strip().lower())
         if match is None:
@@ -125,6 +161,8 @@ class ProtocolConfig:
                 view_selection=parse_view_selection(match.group("vs")),
                 propagation=parse_propagation(match.group("vp")),
                 view_size=view_size,
+                healer=int(match.group("healer") or 0),
+                swapper=int(match.group("swapper") or 0),
             )
         except ValueError as exc:
             raise ConfigurationError(

@@ -47,7 +47,7 @@ from repro.core.descriptor import (
     NodeDescriptor,
     increase_hop_count,
 )
-from repro.core.view import PartialView, merge
+from repro.core.view import PartialView, apply_healer_swapper, merge
 
 
 class Exchange(NamedTuple):
@@ -221,9 +221,17 @@ class GossipNode:
 
     def _apply_merge(self, received: List[NodeDescriptor]) -> None:
         """``view <- selectView(merge(received, view))``."""
-        exclude = None if self.config.keep_self_descriptors else self.address
-        buffer = merge(received, self.view, exclude=exclude)
-        selected = self.config.view_selection.select(
-            buffer, self.config.view_size, self._rng
+        config = self.config
+        exclude = None if config.keep_self_descriptors else self.address
+        if config.healer or config.swapper:
+            own = {id(d) for d in self.view}
+            buffer = merge(received, self.view, exclude=exclude)
+            buffer = apply_healer_swapper(
+                buffer, config.view_size, config.healer, config.swapper, own
+            )
+        else:
+            buffer = merge(received, self.view, exclude=exclude)
+        selected = config.view_selection.select(
+            buffer, config.view_size, self._rng
         )
         self.view.replace(selected)

@@ -20,7 +20,15 @@ deterministic given the merge input order.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+)
 
 from repro.core.descriptor import Address, NodeDescriptor
 from repro.core.errors import ViewError
@@ -67,6 +75,51 @@ def merge(
                 best[address] = descriptor
     buffer = list(best.values())
     buffer.sort(key=_by_hop_count)
+    return buffer
+
+
+def apply_healer_swapper(
+    buffer: List[NodeDescriptor],
+    c: int,
+    healer: int,
+    swapper: int,
+    own: AbstractSet[int],
+) -> List[NodeDescriptor]:
+    """Apply the TOCS-2007-style ``H``/``S`` pre-truncation to a merge buffer.
+
+    ``buffer`` must be a hop-count-ordered merge result (the output of
+    :func:`merge`).  When it overflows the capacity ``c``:
+
+    1. *healer* -- drop ``min(H, overflow)`` descriptors with the highest
+       hop count (the tail of the sorted buffer): stale entries, among them
+       dead links, are healed away first;
+    2. *swapper* -- drop ``min(S, remaining overflow)`` descriptors that
+       survived from the node's own previous view, freshest first.  ``own``
+       is the set of ``id()`` values of the pre-merge view's descriptor
+       objects; :func:`merge` keeps an own-view object exactly when the own
+       copy of an address is strictly fresher than the received one (or the
+       address was not received at all), so object identity decides origin.
+
+    The buffer is never cut below ``c`` entries; the regular view-selection
+    truncation runs afterwards.  With ``H == S == 0`` the input is returned
+    unchanged, reproducing the Middleware 2004 protocol exactly.
+    """
+    surplus = len(buffer) - c
+    if surplus <= 0 or (healer <= 0 and swapper <= 0):
+        return buffer
+    if healer > 0:
+        drop = min(healer, surplus)
+        del buffer[len(buffer) - drop:]
+        surplus -= drop
+    if surplus > 0 and swapper > 0:
+        to_drop = min(swapper, surplus)
+        kept: List[NodeDescriptor] = []
+        for descriptor in buffer:
+            if to_drop and id(descriptor) in own:
+                to_drop -= 1
+            else:
+                kept.append(descriptor)
+        buffer = kept
     return buffer
 
 

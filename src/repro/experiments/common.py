@@ -11,15 +11,29 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, Optional, Tuple
+import random
+from typing import Dict, Optional, Tuple, Type
 
 from repro.core.config import ProtocolConfig
 from repro.core.errors import ConfigurationError
 from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.simulation.base import BaseEngine
 from repro.simulation.engine import CycleEngine
+from repro.simulation.fast import FastCycleEngine
 
 SCALE_ENV_VAR = "REPRO_SCALE"
 """Environment variable selecting the default scale preset."""
+
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+"""Environment variable selecting the default simulation engine."""
+
+ENGINES: Dict[str, Type[BaseEngine]] = {
+    "cycle": CycleEngine,
+    "fast": FastCycleEngine,
+}
+"""Engines selectable by name.  ``cycle`` is the object-per-node reference
+implementation; ``fast`` is the array-backed engine (byte-identical results
+given the same seed, far faster at scale)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,6 +125,34 @@ def current_scale(name: Optional[str] = None) -> Scale:
         ) from None
 
 
+def engine_class(name: Optional[str] = None) -> Type[BaseEngine]:
+    """Resolve an engine by explicit name, ``$REPRO_ENGINE``, or ``cycle``.
+
+    Both engines produce byte-identical results given the same seed; the
+    ``fast`` engine is the one to use for ``full``-scale (or larger) runs.
+    """
+    if name is None:
+        name = os.environ.get(ENGINE_ENV_VAR, "cycle")
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        ) from None
+
+
+def make_engine(
+    config: ProtocolConfig,
+    seed: Optional[int] = None,
+    engine: Optional[str] = None,
+    rng: Optional[random.Random] = None,
+    **kwargs: object,
+) -> BaseEngine:
+    """Instantiate the engine selected by ``engine`` / ``$REPRO_ENGINE``."""
+    cls = engine_class(engine)
+    return cls(config, seed=seed, rng=rng, **kwargs)  # type: ignore[call-arg]
+
+
 # -- protocol sets, as the paper groups them ------------------------------------
 
 
@@ -175,16 +217,21 @@ def autocorrelation_protocols(view_size: int) -> Tuple[ProtocolConfig, ...]:
 
 
 def converged_engine(
-    config: ProtocolConfig, scale: Scale, seed: int
-) -> CycleEngine:
+    config: ProtocolConfig,
+    scale: Scale,
+    seed: int,
+    engine: Optional[str] = None,
+) -> BaseEngine:
     """An engine bootstrapped randomly and run for ``scale.cycles`` cycles.
 
     This is the "converged overlay in cycle 300 of the random
-    initialization scenario" that Sections 6 and 7 start from.
+    initialization scenario" that Sections 6 and 7 start from.  The engine
+    implementation is selected by ``engine`` / ``$REPRO_ENGINE`` (default
+    ``cycle``); both produce the same overlay for the same seed.
     """
     from repro.simulation.scenarios import random_bootstrap
 
-    engine = CycleEngine(config, seed=seed)
-    random_bootstrap(engine, n_nodes=scale.n_nodes)
-    engine.run(scale.cycles)
-    return engine
+    instance = make_engine(config, seed=seed, engine=engine)
+    random_bootstrap(instance, n_nodes=scale.n_nodes)
+    instance.run(scale.cycles)
+    return instance

@@ -25,9 +25,9 @@ from repro.experiments.common import (
     Scale,
     current_scale,
     growing_plot_protocols,
+    make_engine,
 )
 from repro.experiments.reporting import format_series
-from repro.simulation.engine import CycleEngine
 from repro.simulation.scenarios import start_growing
 from repro.simulation.trace import MetricsRecorder
 
@@ -54,7 +54,7 @@ class Figure2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> MetricSeries:
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     start_growing(engine, scale.n_nodes, scale.growth_rate)
     recorder = MetricsRecorder(
         every=scale.metrics_every,

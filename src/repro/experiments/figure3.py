@@ -21,10 +21,15 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.random_topology import random_baseline_metrics
-from repro.experiments.common import Scale, current_scale, studied_protocols
+from repro.experiments.common import (
+    Scale,
+    current_scale,
+    make_engine,
+    studied_protocols,
+)
 from repro.experiments.figure2 import MetricSeries
 from repro.experiments.reporting import format_series
-from repro.simulation.engine import CycleEngine
+from repro.simulation.base import BaseEngine
 from repro.simulation.scenarios import lattice_bootstrap, random_bootstrap
 from repro.simulation.trace import MetricsRecorder
 
@@ -42,7 +47,7 @@ class Figure3Result:
     baseline: Dict[str, float]
 
 
-def _bootstrap(engine: CycleEngine, scenario: str, n_nodes: int) -> None:
+def _bootstrap(engine: BaseEngine, scenario: str, n_nodes: int) -> None:
     if scenario == "lattice":
         lattice_bootstrap(engine, n_nodes)
     else:
@@ -50,7 +55,7 @@ def _bootstrap(engine: CycleEngine, scenario: str, n_nodes: int) -> None:
 
 
 def _run_one(config, scenario: str, scale: Scale, seed: int) -> MetricSeries:
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     _bootstrap(engine, scenario, scale.n_nodes)
     recorder = MetricsRecorder(
         every=scale.metrics_every,

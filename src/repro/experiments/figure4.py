@@ -24,10 +24,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.experiments.common import Scale, current_scale, studied_protocols
+from repro.experiments.common import (
+    Scale,
+    current_scale,
+    make_engine,
+    studied_protocols,
+)
 from repro.experiments.reporting import format_table
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.engine import CycleEngine
 from repro.simulation.scenarios import random_bootstrap
 from repro.stats.distributions import (
     distribution_span,
@@ -76,7 +80,7 @@ def _summarize(cycle: int, degrees: np.ndarray) -> DegreeSnapshot:
 
 
 def _run_one(config, scale: Scale, checkpoints: List[int], seed: int):
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     random_bootstrap(engine, n_nodes=scale.n_nodes)
     result: List[DegreeSnapshot] = []
     for checkpoint in checkpoints:

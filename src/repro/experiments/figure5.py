@@ -29,9 +29,9 @@ from repro.experiments.common import (
     Scale,
     autocorrelation_protocols,
     current_scale,
+    make_engine,
 )
 from repro.experiments.reporting import format_series
-from repro.simulation.engine import CycleEngine
 from repro.simulation.scenarios import random_bootstrap
 from repro.simulation.trace import DegreeTracer
 from repro.stats.autocorrelation import autocorrelation, confidence_band
@@ -53,7 +53,7 @@ class Figure5Result:
 
 
 def _run_one(config, scale: Scale, max_lag: int, seed: int) -> np.ndarray:
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
     tracer = DegreeTracer(addresses[: scale.traced_nodes])
     engine.add_observer(tracer)

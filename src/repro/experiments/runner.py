@@ -5,22 +5,31 @@ Usage::
     repro-experiments list
     repro-experiments run table1 --scale quick
     repro-experiments run all --scale full --seed 7
+    repro-experiments run figure7 --engine fast
     python -m repro.experiments.runner run figure7
 
 ``--scale`` overrides the ``REPRO_SCALE`` environment variable; ``full``
-is the paper's parameterization (slow in pure Python -- expect hours).
+is the paper's parameterization (hours on the reference ``cycle`` engine;
+pass ``--engine fast`` to run the array-backed engine instead -- same
+results for the same seed, far faster).
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from repro.experiments import EXPERIMENT_IDS
-from repro.experiments.common import SCALES, current_scale
+from repro.experiments.common import (
+    ENGINE_ENV_VAR,
+    ENGINES,
+    SCALES,
+    current_scale,
+)
 
 _DESCRIPTIONS = {
     "table1": "partitioning of push protocols in the growing scenario",
@@ -34,11 +43,30 @@ _DESCRIPTIONS = {
 }
 
 
-def run_experiment(experiment_id: str, scale_name: Optional[str], seed: int) -> str:
-    """Run one experiment and return its text report."""
+def run_experiment(
+    experiment_id: str,
+    scale_name: Optional[str],
+    seed: int,
+    engine: Optional[str] = None,
+) -> str:
+    """Run one experiment and return its text report.
+
+    ``engine`` selects the simulation engine for every helper that honors
+    ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`).
+    """
     module = importlib.import_module(f"repro.experiments.{experiment_id}")
     scale = current_scale(scale_name)
-    result = module.run(scale=scale, seed=seed)
+    previous = os.environ.get(ENGINE_ENV_VAR)
+    if engine is not None:
+        os.environ[ENGINE_ENV_VAR] = engine
+    try:
+        result = module.run(scale=scale, seed=seed)
+    finally:
+        if engine is not None:
+            if previous is None:
+                os.environ.pop(ENGINE_ENV_VAR, None)
+            else:
+                os.environ[ENGINE_ENV_VAR] = previous
     return module.report(result)
 
 
@@ -47,10 +75,16 @@ def _cmd_list() -> int:
     for experiment_id in EXPERIMENT_IDS:
         print(f"  {experiment_id:10s} {_DESCRIPTIONS[experiment_id]}")
     print(f"\nscales: {', '.join(SCALES)} (select with --scale or $REPRO_SCALE)")
+    print(f"engines: {', '.join(ENGINES)} (select with --engine or $REPRO_ENGINE)")
     return 0
 
 
-def _cmd_run(ids: List[str], scale_name: Optional[str], seed: int) -> int:
+def _cmd_run(
+    ids: List[str],
+    scale_name: Optional[str],
+    seed: int,
+    engine: Optional[str] = None,
+) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
     unknown = [i for i in ids if i not in EXPERIMENT_IDS]
@@ -60,7 +94,7 @@ def _cmd_run(ids: List[str], scale_name: Optional[str], seed: int) -> int:
         return 2
     for experiment_id in ids:
         started = time.perf_counter()
-        report = run_experiment(experiment_id, scale_name, seed)
+        report = run_experiment(experiment_id, scale_name, seed, engine)
         elapsed = time.perf_counter() - started
         print(report)
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
@@ -91,6 +125,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--seed", type=int, default=0, help="base random seed (default 0)"
     )
+    run_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="simulation engine (default: $REPRO_ENGINE or 'cycle'); "
+        "'fast' gives identical results, much faster at scale",
+    )
     return parser
 
 
@@ -99,7 +140,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    return _cmd_run(args.ids, args.scale, args.seed)
+    return _cmd_run(args.ids, args.scale, args.seed, args.engine)
 
 
 if __name__ == "__main__":

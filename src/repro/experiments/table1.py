@@ -25,11 +25,15 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import Scale, current_scale, push_protocols
+from repro.experiments.common import (
+    Scale,
+    current_scale,
+    make_engine,
+    push_protocols,
+)
 from repro.experiments.reporting import format_table
 from repro.graph.components import component_sizes
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.engine import CycleEngine
 from repro.simulation.scenarios import start_growing
 
 PAPER_REFERENCE = {
@@ -64,7 +68,7 @@ class Table1Result:
 
 def _run_once(config, scale: Scale, seed: int) -> List[int]:
     """One growing run; returns the component sizes at the final cycle."""
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     start_growing(engine, scale.n_nodes, scale.growth_rate)
     engine.run(scale.cycles)
     return component_sizes(GraphSnapshot.from_engine(engine))

@@ -29,10 +29,14 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional, Sequence
 
-from repro.experiments.common import Scale, current_scale, studied_protocols
+from repro.experiments.common import (
+    Scale,
+    current_scale,
+    make_engine,
+    studied_protocols,
+)
 from repro.experiments.reporting import format_table
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.engine import CycleEngine
 from repro.simulation.scenarios import random_bootstrap
 from repro.simulation.trace import DegreeTracer
 from repro.stats.summary import DegreeDynamics, degree_dynamics_summary
@@ -67,7 +71,7 @@ class Table2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> Table2Row:
-    engine = CycleEngine(config, seed=seed)
+    engine = make_engine(config, seed=seed)
     addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
     tracer = DegreeTracer(addresses[: scale.traced_nodes])
     engine.add_observer(tracer)

@@ -12,10 +12,16 @@ machine:
   timer-driven execution with modelled message latency and loss, used to
   check that the cycle-level results carry over to a more realistic
   deployment model.
+
+A third engine, :class:`~repro.simulation.fast.FastCycleEngine`, executes
+the identical cycle model over flat array storage (optionally through a
+compiled C core) and is byte-compatible with :class:`CycleEngine` given
+the same seed -- use it for 10^4..10^5+ node populations.
 """
 
 from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
+from repro.simulation.fast import FastCycleEngine
 from repro.simulation.network import (
     BernoulliLoss,
     ConstantLatency,
@@ -38,6 +44,7 @@ __all__ = [
     "DegreeTracer",
     "EventEngine",
     "ExponentialLatency",
+    "FastCycleEngine",
     "MetricsRecorder",
     "NoLoss",
     "Observer",

@@ -1,0 +1,462 @@
+"""Optional C accelerator for :class:`~repro.simulation.fast.FastCycleEngine`.
+
+The fast engine stores every view in flat ``array('q')`` buffers, which are
+plain C ``int64`` memory.  This module compiles (with the system C compiler,
+once, cached) a small shared library that executes an entire gossip cycle
+over those buffers -- peer selection, payload construction, merge,
+healer/swapper and truncation -- without touching the Python interpreter.
+
+Bit-exact randomness
+--------------------
+
+The accelerated cycle must consume the engine's ``random.Random`` exactly
+like the pure-Python reference does, or determinism and the differential
+guarantees would silently break.  The C code therefore reimplements, bit
+for bit, the CPython primitives the cycle path uses:
+
+- the MT19937 core (``genrand_uint32`` incl. the tempering steps, matching
+  ``_randommodule.c``);
+- ``Random._randbelow_with_getrandbits`` (``getrandbits(k)`` for ``k <= 32``
+  is ``genrand_uint32() >> (32 - k)``, rejection-sampled);
+- ``Random.shuffle`` (Fisher-Yates over ``_randbelow(i + 1)``);
+- ``Random.sample``'s *pool* algorithm.  ``sample(range(m), c)`` with
+  ``m <= 2c + 2`` always satisfies ``m <= setsize`` (the pool/selection-set
+  cutoff in ``random.py``), so the selection-set branch is never needed.
+
+Before each accelerated cycle the engine hands the C code the Mersenne
+Twister state (``Random.getstate()``); afterwards the mutated state is
+installed back via ``Random.setstate()``.  The RNG stream is therefore
+seamless across Python and C consumers -- the determinism tests assert
+that even the post-run generator state matches the reference engine's.
+
+The accelerator is optional: when no C compiler is available (or
+``REPRO_NO_ACCEL`` is set), the engine transparently falls back to its
+pure-Python path, which produces identical results, only slower.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+__all__ = ["load_accelerator", "Accelerator"]
+
+DISABLE_ENV_VAR = "REPRO_NO_ACCEL"
+"""Set (to any non-empty value) to force the pure-Python engine path."""
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* MT19937, bit-exact with CPython Modules/_randommodule.c            */
+/* ------------------------------------------------------------------ */
+
+#define MT_N 624
+#define MT_M 397
+#define MATRIX_A   0x9908b0dfU
+#define UPPER_MASK 0x80000000U
+#define LOWER_MASK 0x7fffffffU
+
+static uint32_t g_mt[MT_N];
+static int g_mti;
+
+static uint32_t genrand_uint32(void) {
+    uint32_t y;
+    static const uint32_t mag01[2] = {0U, MATRIX_A};
+    if (g_mti >= MT_N) {
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (g_mt[kk] & UPPER_MASK) | (g_mt[kk + 1] & LOWER_MASK);
+            g_mt[kk] = g_mt[kk + MT_M] ^ (y >> 1) ^ mag01[y & 1U];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (g_mt[kk] & UPPER_MASK) | (g_mt[kk + 1] & LOWER_MASK);
+            g_mt[kk] = g_mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag01[y & 1U];
+        }
+        y = (g_mt[MT_N - 1] & UPPER_MASK) | (g_mt[0] & LOWER_MASK);
+        g_mt[MT_N - 1] = g_mt[MT_M - 1] ^ (y >> 1) ^ mag01[y & 1U];
+        g_mti = 0;
+    }
+    y = g_mt[g_mti++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680U;
+    y ^= (y << 15) & 0xefc60000U;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* Random._randbelow_with_getrandbits; n >= 1 and n < 2**32 here, so
+   getrandbits(k) is the single-word genrand_uint32() >> (32 - k). */
+static int64_t randbelow(int64_t n) {
+    int k = 0;
+    int64_t v = n;
+    uint32_t r;
+    while (v) { k++; v >>= 1; }
+    do {
+        r = genrand_uint32() >> (32 - k);
+    } while ((int64_t)r >= n);
+    return (int64_t)r;
+}
+
+/* Random.shuffle */
+static void shuffle_ids(int64_t *x, int64_t len) {
+    int64_t i, j, t;
+    for (i = len - 1; i > 0; i--) {
+        j = randbelow(i + 1);
+        t = x[i]; x[i] = x[j]; x[j] = t;
+    }
+}
+
+/* Random.sample(range(n), k), pool algorithm (always taken: the caller
+   guarantees n <= setsize).  result receives the k chosen positions in
+   sample order. */
+static void sample_range(int64_t n, int64_t k, int64_t *result,
+                         int64_t *pool) {
+    int64_t i, j;
+    for (i = 0; i < n; i++) pool[i] = i;
+    for (i = 0; i < k; i++) {
+        j = randbelow(n - i);
+        result[i] = pool[j];
+        pool[j] = pool[n - i - 1];
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Engine context (one engine drives the library at a time; the GIL    */
+/* serializes access and the pointers are refreshed every cycle).      */
+/* ------------------------------------------------------------------ */
+
+static int64_t *g_vids, *g_vhops, *g_vlen, *g_rowof;
+static unsigned char *g_alive;
+static int64_t g_c, g_H, g_S;
+static int g_keepself, g_push, g_pull, g_ps, g_vs, g_omniscient, g_shuffle;
+
+static int64_t *s_rqi, *s_rqh, *s_rpi, *s_rph;   /* payload scratch   */
+static int64_t *s_bids, *s_bhops;                /* merge buffer      */
+static unsigned char *s_bown;                    /* own-origin flags  */
+static int64_t *s_order, *s_picked, *s_pool, *s_cand;
+static int64_t g_scratch_c = -1;
+
+void fc_setup(int64_t *vids, int64_t *vhops, int64_t *vlen, int64_t *rowof,
+              unsigned char *alive, int64_t c, int64_t healer,
+              int64_t swapper, int keepself, int push, int pull,
+              int ps, int vs, int omniscient, int do_shuffle) {
+    g_vids = vids; g_vhops = vhops; g_vlen = vlen; g_rowof = rowof;
+    g_alive = alive;
+    g_c = c; g_H = healer; g_S = swapper;
+    g_keepself = keepself; g_push = push; g_pull = pull;
+    g_ps = ps; g_vs = vs; g_omniscient = omniscient; g_shuffle = do_shuffle;
+    if (c != g_scratch_c) {
+        size_t pay = (size_t)(c + 1), buf = (size_t)(2 * c + 2);
+        free(s_rqi); free(s_rqh); free(s_rpi); free(s_rph);
+        free(s_bids); free(s_bhops); free(s_bown);
+        free(s_order); free(s_picked); free(s_pool); free(s_cand);
+        s_rqi = malloc(pay * sizeof(int64_t));
+        s_rqh = malloc(pay * sizeof(int64_t));
+        s_rpi = malloc(pay * sizeof(int64_t));
+        s_rph = malloc(pay * sizeof(int64_t));
+        s_bids = malloc(buf * sizeof(int64_t));
+        s_bhops = malloc(buf * sizeof(int64_t));
+        s_bown = malloc(buf);
+        s_order = malloc(buf * sizeof(int64_t));
+        s_picked = malloc((size_t)c * sizeof(int64_t));
+        s_pool = malloc(buf * sizeof(int64_t));
+        s_cand = malloc((size_t)c * sizeof(int64_t));
+        g_scratch_c = c;
+    }
+}
+
+/* view <- selectView(merge(received, view)); received hop counts arrive
+   with the receiver-side increaseHopCount already applied. */
+static void merge_into(int64_t t, const int64_t *rids, const int64_t *rhops,
+                       int64_t nr) {
+    int64_t c = g_c, row = g_rowof[t], base = row * c, ln = g_vlen[row];
+    int64_t *bids = s_bids, *bhops = s_bhops;
+    unsigned char *bown = s_bown;
+    int64_t *order = s_order;
+    int64_t excl = g_keepself ? -1 : t;
+    int64_t n = 0, nru, m, j, k;
+
+    /* duplicate elimination: lowest hop count wins, first-seen
+       (received-first) order is kept, exactly like the reference merge. */
+    for (k = 0; k < nr; k++) {
+        int64_t a = rids[k], f = -1;
+        if (a == excl) continue;
+        for (j = 0; j < n; j++) if (bids[j] == a) { f = j; break; }
+        if (f < 0) { bids[n] = a; bhops[n] = rhops[k]; bown[n] = 0; n++; }
+        else if (rhops[k] < bhops[f]) { bhops[f] = rhops[k]; bown[f] = 0; }
+    }
+    nru = n;
+    for (k = 0; k < ln; k++) {
+        int64_t a = g_vids[base + k], h = g_vhops[base + k], f = -1;
+        if (a == excl) continue;
+        for (j = 0; j < nru; j++) if (bids[j] == a) { f = j; break; }
+        if (f < 0) { bids[n] = a; bhops[n] = h; bown[n] = 1; n++; }
+        else if (h < bhops[f]) { bhops[f] = h; bown[f] = 1; }
+    }
+
+    /* stable insertion sort by hop count (ties keep first-seen order). */
+    for (j = 0; j < n; j++) order[j] = j;
+    for (j = 1; j < n; j++) {
+        int64_t q = order[j], h = bhops[q], w = j;
+        while (w > 0 && bhops[order[w - 1]] > h) {
+            order[w] = order[w - 1];
+            w--;
+        }
+        order[w] = q;
+    }
+    m = n;
+
+    /* healer/swapper pre-truncation. */
+    if (m > c && (g_H || g_S)) {
+        int64_t surplus = m - c;
+        if (g_H) {
+            int64_t drop = g_H < surplus ? g_H : surplus;
+            m -= drop;                      /* oldest = tail of the sort */
+            surplus -= drop;
+        }
+        if (surplus > 0 && g_S) {
+            int64_t todrop = g_S < surplus ? g_S : surplus, w = 0;
+            for (j = 0; j < m; j++) {
+                int64_t q = order[j];
+                if (todrop && bown[q]) { todrop--; continue; }
+                order[w++] = q;
+            }
+            m = w;
+        }
+    }
+
+    /* view-selection truncation. */
+    if (m > c) {
+        if (g_vs == 1) {                     /* head */
+            m = c;
+        } else if (g_vs == 2) {              /* tail */
+            memmove(order, order + (m - c), (size_t)c * sizeof(int64_t));
+            m = c;
+        } else {                             /* rand */
+            int64_t *chosen = s_pool;        /* reused after sampling */
+            sample_range(m, c, s_picked, s_pool);
+            for (j = 0; j < c; j++) chosen[j] = order[s_picked[j]];
+            /* stable re-sort by hop count keeps the sample order on ties,
+               like select_rand's chosen.sort(key=hop_count). */
+            for (j = 1; j < c; j++) {
+                int64_t q = chosen[j], h = bhops[q], w = j;
+                while (w > 0 && bhops[chosen[w - 1]] > h) {
+                    chosen[w] = chosen[w - 1];
+                    w--;
+                }
+                chosen[w] = q;
+            }
+            memcpy(order, chosen, (size_t)c * sizeof(int64_t));
+            m = c;
+        }
+    }
+
+    for (j = 0; j < m; j++) {
+        g_vids[base + j] = bids[order[j]];
+        g_vhops[base + j] = bhops[order[j]];
+    }
+    g_vlen[row] = m;
+}
+
+/* One full cycle.  order: live ids in insertion order (shuffled in place
+   when enabled); rstate: the 625-word Mersenne Twister state from
+   Random.getstate(), mutated in place; out: {completed, failed}. */
+void fc_run_cycle(int64_t *order, int64_t norder, int64_t *rstate,
+                  int64_t *out) {
+    int64_t completed = 0, failed = 0, oi, k;
+    for (k = 0; k < MT_N; k++) g_mt[k] = (uint32_t)rstate[k];
+    g_mti = (int)rstate[MT_N];
+
+    if (g_shuffle) shuffle_ids(order, norder);
+    for (oi = 0; oi < norder; oi++) {
+        int64_t i = order[oi], row, base, ln, p = -1, nrq = 0;
+        if (!g_alive[i]) continue;
+        row = g_rowof[i];
+        base = row * g_c;
+        ln = g_vlen[row];
+        if (!ln) continue;
+        /* active thread, first half: age view, select peer. */
+        for (k = 0; k < ln; k++) g_vhops[base + k]++;
+        if (g_omniscient) {
+            int64_t nc = 0;
+            for (k = 0; k < ln; k++) {
+                int64_t a = g_vids[base + k];
+                if (g_alive[a]) s_cand[nc++] = a;
+            }
+            if (!nc) continue;
+            if (g_ps == 0) p = s_cand[randbelow(nc)];
+            else if (g_ps == 1) p = s_cand[0];
+            else p = s_cand[nc - 1];
+        } else {
+            if (g_ps == 0) p = g_vids[base + randbelow(ln)];
+            else if (g_ps == 1) p = g_vids[base];
+            else p = g_vids[base + ln - 1];
+            if (!g_alive[p]) { failed++; continue; }
+        }
+        /* request payload: merge(view, {(me, 0)}), receiver-incremented. */
+        if (g_push) {
+            s_rqi[0] = i; s_rqh[0] = 1;
+            for (k = 0; k < ln; k++) {
+                s_rqi[k + 1] = g_vids[base + k];
+                s_rqh[k + 1] = g_vhops[base + k] + 1;
+            }
+            nrq = ln + 1;
+        }
+        if (g_pull) {
+            /* passive thread: reply snapshot precedes the merge. */
+            int64_t prow = g_rowof[p], pbase = prow * g_c;
+            int64_t pln = g_vlen[prow];
+            s_rpi[0] = p; s_rph[0] = 1;
+            for (k = 0; k < pln; k++) {
+                s_rpi[k + 1] = g_vids[pbase + k];
+                s_rph[k + 1] = g_vhops[pbase + k] + 1;
+            }
+            merge_into(p, s_rqi, s_rqh, nrq);
+            /* active thread, second half: merge the pulled view. */
+            merge_into(i, s_rpi, s_rph, pln + 1);
+        } else {
+            merge_into(p, s_rqi, s_rqh, nrq);
+        }
+        completed++;
+    }
+
+    out[0] = completed;
+    out[1] = failed;
+    for (k = 0; k < MT_N; k++) rstate[k] = (int64_t)g_mt[k];
+    rstate[MT_N] = g_mti;
+}
+"""
+
+_I64P = ctypes.POINTER(ctypes.c_int64)
+_U8P = ctypes.POINTER(ctypes.c_ubyte)
+
+
+class Accelerator:
+    """ctypes handle to the compiled cycle core."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        lib.fc_setup.argtypes = [
+            _I64P, _I64P, _I64P, _I64P, _U8P,
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int, ctypes.c_int, ctypes.c_int,
+            ctypes.c_int, ctypes.c_int, ctypes.c_int, ctypes.c_int,
+        ]
+        lib.fc_setup.restype = None
+        lib.fc_run_cycle.argtypes = [
+            _I64P, ctypes.c_int64, _I64P, _I64P,
+        ]
+        lib.fc_run_cycle.restype = None
+        self.setup = lib.fc_setup
+        self.run_cycle = lib.fc_run_cycle
+
+    @staticmethod
+    def pointer(buffer_address: int) -> "ctypes.POINTER(ctypes.c_int64)":
+        """An ``int64*`` for an ``array('q')`` buffer address."""
+        return ctypes.cast(buffer_address, _I64P)
+
+    @staticmethod
+    def byte_pointer(buffer_address: int) -> "ctypes.POINTER(ctypes.c_ubyte)":
+        """An ``unsigned char*`` for a ``bytearray`` buffer address."""
+        return ctypes.cast(buffer_address, _U8P)
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _cache_dir() -> str:
+    """A private, per-user cache directory for the compiled library.
+
+    Never a world-writable shared location: loading a ``.so`` from a
+    predictable path in ``/tmp`` would let another local user pre-plant
+    code.  The directory is created ``0700`` and verified to be owned by
+    the current user and not group/world-writable; on any doubt a fresh
+    ``mkdtemp`` (private by construction) is used instead.
+    """
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    path = os.path.join(base, "repro-fastcore")
+    try:
+        os.makedirs(path, mode=0o700, exist_ok=True)
+        info = os.stat(path)
+        owner_ok = not hasattr(os, "getuid") or info.st_uid == os.getuid()
+        if not owner_ok or info.st_mode & 0o022:
+            raise OSError("untrusted cache directory")
+        return path
+    except OSError:
+        return tempfile.mkdtemp(prefix="repro-fastcore-")
+
+
+def _cache_path() -> str:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    tag = f"repro_fastcore_{digest}_py{sys.version_info[0]}{sys.version_info[1]}"
+    return os.path.join(_cache_dir(), f"{tag}.so")
+
+
+def _build() -> Optional[str]:
+    compiler = _find_compiler()
+    if compiler is None:
+        return None
+    target = _cache_path()
+    if os.path.exists(target):
+        return target
+    fd, c_path = tempfile.mkstemp(suffix=".c")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(_SOURCE)
+        so_tmp = f"{target}.{os.getpid()}.tmp"
+        result = subprocess.run(
+            [compiler, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_path],
+            capture_output=True,
+        )
+        if result.returncode != 0:
+            return None
+        os.replace(so_tmp, target)  # atomic against concurrent builders
+        return target
+    except OSError:
+        return None
+    finally:
+        try:
+            os.unlink(c_path)
+        except OSError:
+            pass
+
+
+_cached: Optional[Accelerator] = None
+_attempted = False
+
+
+def load_accelerator() -> Optional[Accelerator]:
+    """The process-wide accelerator, or ``None`` when unavailable.
+
+    Compilation is attempted at most once per process; failures (no
+    compiler, sandboxed tmp, ...) silently disable acceleration.
+    """
+    global _cached, _attempted
+    if os.environ.get(DISABLE_ENV_VAR):
+        return None
+    if _attempted:
+        return _cached
+    _attempted = True
+    try:
+        path = _build()
+        if path is not None:
+            _cached = Accelerator(ctypes.CDLL(path))
+    except OSError:
+        _cached = None
+    return _cached

@@ -1,0 +1,871 @@
+"""Array-backed fast cycle engine for 100k+ node populations.
+
+:class:`FastCycleEngine` executes exactly the same protocol as
+:class:`~repro.simulation.engine.CycleEngine` -- the paper's Figure 1
+active/passive threads under the PeerSim-style synchronous cycle model --
+but stores the whole population in flat preallocated arrays instead of one
+``GossipNode`` + ``PartialView`` + ``NodeDescriptor`` object per peer.
+
+Flat-array layout
+-----------------
+
+Every address ever seen by the engine is *interned* to a small integer id
+(ids are permanent: a crashed node that rejoins keeps its id, so stale
+descriptors in other views correctly point at the rejoined node, exactly
+as address-keyed dictionaries behave in the reference engine).  Per-id
+state lives in parallel arrays:
+
+- ``_addr_of[id]``   -- the external address (inverse of ``_id_of``);
+- ``_alive[id]``     -- liveness flag (``array('B')``);
+- ``_row_of[id]``    -- index of the node's view row, ``-1`` when dead.
+
+View storage is two flat ``array('q')`` buffers with ``c`` slots per row
+(``c`` = the configured view size): ``_vids[row*c + k]`` holds the peer id
+of the ``k``-th view entry and ``_vhops`` its hop count; ``_vlen[row]`` is
+the fill level.  Rows hold entries compacted at the front in increasing
+hop-count order -- the same invariant ``PartialView`` maintains.  A
+free-list recycles rows under churn, so memory is bounded by the peak
+live population, not by the total number of joins.  At 100,000 nodes with
+``c = 30`` the whole overlay state is two ~24 MB C buffers instead of
+several million Python objects.
+
+One exchange (peer selection, view propagation, ``merge`` + healer/swapper
++ head/tail/rand truncation) is pure index manipulation over reusable
+scratch buffers; no ``NodeDescriptor``/``PartialView``/``GossipNode``
+objects are allocated anywhere on the cycle path.
+
+Execution backends
+------------------
+
+Because the arrays are plain C ``int64`` memory, the cycle loop itself has
+two interchangeable implementations:
+
+- an optional C core (:mod:`repro.simulation._fastcore`), compiled once
+  with the system C compiler, that runs entire cycles natively -- orders
+  of magnitude faster than the reference engine;
+- a pure-Python fallback used when no compiler is available (or
+  ``REPRO_NO_ACCEL`` is set), still several times leaner than the
+  object-per-node engine.
+
+Determinism and RNG parity
+--------------------------
+
+Both backends reproduce the reference engine's random-number consumption
+*exactly*.  The Python path draws through operations whose draw count
+depends only on sizes (``randrange(n)`` instead of ``choice(seq)``,
+``sample(range(n), k)`` instead of ``sample(list, k)``), in the order the
+reference engine draws.  The C path goes further and reimplements
+CPython's MT19937 primitives bit-for-bit, taking over the generator state
+for the duration of a cycle and handing it back afterwards (see
+``_fastcore``).  Given the same seed and call sequence, ``views()`` is
+therefore *byte-identical* across ``CycleEngine`` and both
+``FastCycleEngine`` backends, cycle by cycle, including under churn --
+the differential suite in
+``tests/simulation/test_fast_engine_differential.py`` pins this.
+
+When to prefer which engine
+---------------------------
+
+- ``CycleEngine`` -- small populations, custom node factories (Cyclon,
+  SCAMP, second-view extensions), or when per-node instrumentation of the
+  ``GossipNode`` state machine is needed.
+- ``FastCycleEngine`` -- large populations (10^4 .. 10^5+ nodes) running
+  the built-in generic protocol; identical results, far faster and a
+  fraction of the memory (see ``benchmarks/bench_fast_engine.py`` for the
+  measured speedup table, summarized in ``ROADMAP.md``).
+- ``EventEngine`` -- asynchronous message timing studies.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from itertools import compress
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import (
+    ConfigurationError,
+    NodeNotFoundError,
+    ViewError,
+)
+from repro.core.policies import PeerSelection, ViewSelection
+from repro.core.view import merge
+from repro.simulation._fastcore import Accelerator, load_accelerator
+from repro.simulation.base import BaseEngine
+
+__all__ = ["FastCycleEngine", "FastNode", "FastViewProxy"]
+
+_POLICY_CODE = {"rand": 0, "head": 1, "tail": 2}
+
+
+class FastViewProxy:
+    """A ``PartialView``-compatible window onto one node's view row.
+
+    Reads materialize :class:`NodeDescriptor` objects on demand; writes go
+    straight back into the engine's flat arrays.  Only the introspection /
+    bootstrap paths use this class -- the cycle hot path never does.
+    """
+
+    __slots__ = ("_engine", "_id")
+
+    def __init__(self, engine: "FastCycleEngine", node_id: int) -> None:
+        self._engine = engine
+        self._id = node_id
+
+    @property
+    def capacity(self) -> int:
+        """The view capacity ``c`` (shared by all nodes of the engine)."""
+        return self._engine.config.view_size
+
+    def _bounds(self) -> "tuple":
+        engine = self._engine
+        row = engine._row_of[self._id]
+        if row < 0:
+            return 0, 0
+        base = row * engine.config.view_size
+        return base, base + engine._vlen[row]
+
+    # -- read access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        base, end = self._bounds()
+        return end - base
+
+    def __iter__(self) -> Iterator[NodeDescriptor]:
+        engine = self._engine
+        base, end = self._bounds()
+        for k in range(base, end):
+            yield NodeDescriptor(
+                engine._addr_of[engine._vids[k]], engine._vhops[k]
+            )
+
+    def __contains__(self, address: Address) -> bool:
+        peer = self._engine._id_of.get(address)
+        if peer is None:
+            return False
+        base, end = self._bounds()
+        return peer in self._engine._vids[base:end]
+
+    def __repr__(self) -> str:
+        return (
+            f"FastViewProxy(capacity={self.capacity}, size={len(self)})"
+        )
+
+    @property
+    def entries(self) -> List[NodeDescriptor]:
+        """Fresh descriptors for the current entries, hop-count ordered."""
+        return list(self)
+
+    def addresses(self) -> List[Address]:
+        """All addresses currently in the view, in hop-count order."""
+        engine = self._engine
+        base, end = self._bounds()
+        addr_of = engine._addr_of
+        return [addr_of[i] for i in engine._vids[base:end]]
+
+    def descriptor_for(self, address: Address) -> Optional[NodeDescriptor]:
+        """The descriptor stored for ``address``, or ``None``."""
+        for descriptor in self:
+            if descriptor.address == address:
+                return descriptor
+        return None
+
+    def is_full(self) -> bool:
+        """Whether the view holds ``capacity`` descriptors."""
+        return len(self) >= self.capacity
+
+    def head(self) -> Optional[NodeDescriptor]:
+        """The descriptor with the lowest hop count, or ``None`` if empty."""
+        base, end = self._bounds()
+        if base == end:
+            return None
+        engine = self._engine
+        return NodeDescriptor(
+            engine._addr_of[engine._vids[base]], engine._vhops[base]
+        )
+
+    def tail(self) -> Optional[NodeDescriptor]:
+        """The descriptor with the highest hop count, or ``None`` if empty."""
+        base, end = self._bounds()
+        if base == end:
+            return None
+        engine = self._engine
+        return NodeDescriptor(
+            engine._addr_of[engine._vids[end - 1]], engine._vhops[end - 1]
+        )
+
+    def random_entry(self, rng: random.Random) -> Optional[NodeDescriptor]:
+        """A uniformly random descriptor, or ``None`` if empty.
+
+        Consumes exactly one ``_randbelow`` draw, like
+        ``random.Random.choice`` on the reference view's entry list.
+        """
+        base, end = self._bounds()
+        if base == end:
+            return None
+        engine = self._engine
+        k = base + rng.randrange(end - base)
+        return NodeDescriptor(
+            engine._addr_of[engine._vids[k]], engine._vhops[k]
+        )
+
+    # -- mutation ---------------------------------------------------------
+
+    def replace(self, entries: Iterable[NodeDescriptor]) -> None:
+        """Adopt ``entries`` as the new view content (bootstrap path).
+
+        Same contract as :meth:`PartialView.replace`: deduplicate keeping
+        the lowest hop count, order by hop count, reject overflow.
+        """
+        merged = merge(entries)
+        if len(merged) > self.capacity:
+            raise ViewError(
+                f"{len(merged)} descriptors exceed view capacity "
+                f"{self.capacity}"
+            )
+        engine = self._engine
+        row = engine._row_of[self._id]
+        if row < 0:
+            raise NodeNotFoundError(engine._addr_of[self._id])
+        base = row * engine.config.view_size
+        vids = engine._vids
+        vhops = engine._vhops
+        intern = engine._intern
+        for k, descriptor in enumerate(merged):
+            entry_id = intern(descriptor.address)
+            if not engine._alive[entry_id]:
+                engine._maybe_dead_refs = True
+            vids[base + k] = entry_id
+            vhops[base + k] = descriptor.hop_count
+        engine._vlen[row] = len(merged)
+
+    def increase_hop_counts(self) -> None:
+        """Increment every stored entry's hop count in place."""
+        base, end = self._bounds()
+        vhops = self._engine._vhops
+        for k in range(base, end):
+            vhops[k] += 1
+
+    def remove(self, address: Address) -> bool:
+        """Drop the descriptor for ``address``; return whether it existed."""
+        engine = self._engine
+        peer = engine._id_of.get(address)
+        if peer is None:
+            return False
+        base, end = self._bounds()
+        vids = engine._vids
+        for k in range(base, end):
+            if vids[k] == peer:
+                row = engine._row_of[self._id]
+                vids[k:end - 1] = vids[k + 1:end]
+                engine._vhops[k:end - 1] = engine._vhops[k + 1:end]
+                engine._vlen[row] -= 1
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every descriptor."""
+        engine = self._engine
+        row = engine._row_of[self._id]
+        if row >= 0:
+            engine._vlen[row] = 0
+
+
+class FastNode:
+    """A ``GossipNode``-shaped handle onto one live node of the engine.
+
+    Supports everything the population-level consumers need --
+    ``PeerSamplingService``, the bootstrap scenarios, the observers --
+    without holding any per-node state of its own.
+    """
+
+    __slots__ = ("_engine", "address", "view")
+
+    def __init__(self, engine: "FastCycleEngine", node_id: int) -> None:
+        self._engine = engine
+        self.address = engine._addr_of[node_id]
+        self.view = FastViewProxy(engine, node_id)
+
+    @property
+    def config(self) -> ProtocolConfig:
+        """The protocol instance every node of the engine runs."""
+        return self._engine.config
+
+    @property
+    def liveness(self):
+        """The engine's membership test (see ``GossipNode.liveness``)."""
+        if self._engine.omniscient_peer_selection:
+            return self._engine.is_alive
+        return None
+
+    def sample_peer(self) -> Optional[Address]:
+        """A uniform random address from the current view (``getPeer``)."""
+        entry = self.view.random_entry(self._engine.rng)
+        return None if entry is None else entry.address
+
+    def __repr__(self) -> str:
+        return (
+            f"FastNode(address={self.address!r}, "
+            f"protocol={self._engine.config.label}, "
+            f"view_size={len(self.view)})"
+        )
+
+
+class FastCycleEngine(BaseEngine):
+    """Cycle-driven executor over flat array storage (see module docstring).
+
+    Implements the full :class:`~repro.simulation.base.BaseEngine`
+    population API (``add_node`` / ``remove_node`` / ``crash_random_nodes``
+    / ``views`` / ``dead_link_count`` / observers / ``reachable``), so the
+    scenario helpers, ``GraphSnapshot.from_engine`` and the experiment
+    runners work unchanged.  Custom ``node_factory`` protocols are not
+    supported -- extension protocols keep using :class:`CycleEngine`.
+
+    Parameters
+    ----------
+    accelerate:
+        ``None`` (default): use the compiled C cycle core when available,
+        falling back to pure Python silently.  ``False``: never use the C
+        core.  ``True``: require it (raises
+        :class:`~repro.core.errors.ConfigurationError` when no C compiler
+        is usable).  Both backends produce byte-identical results.
+
+    Example
+    -------
+    >>> from repro import FastCycleEngine, newscast
+    >>> from repro.simulation.scenarios import random_bootstrap
+    >>> engine = FastCycleEngine(newscast(view_size=10), seed=1)
+    >>> random_bootstrap(engine, n_nodes=100)
+    >>> engine.run(cycles=20)
+    >>> engine.cycle
+    20
+    """
+
+    shuffle_each_cycle: bool = True
+    """Same contract as ``CycleEngine.shuffle_each_cycle``."""
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+        node_factory=None,
+        omniscient_peer_selection: bool = True,
+        accelerate: Optional[bool] = None,
+    ) -> None:
+        if node_factory is not None:
+            raise ConfigurationError(
+                "FastCycleEngine runs the built-in generic protocol only; "
+                "use CycleEngine for custom node factories"
+            )
+        super().__init__(
+            config=config,
+            seed=seed,
+            rng=rng,
+            omniscient_peer_selection=omniscient_peer_selection,
+        )
+        assert self.config is not None
+        if accelerate is False:
+            self._accel: Optional[Accelerator] = None
+        else:
+            self._accel = load_accelerator()
+            if accelerate is True and self._accel is None:
+                raise ConfigurationError(
+                    "accelerate=True but no C accelerator is available "
+                    "(no usable C compiler, or REPRO_NO_ACCEL is set)"
+                )
+        # id-indexed state (permanent: ids are never reused).
+        self._addr_of: List[Address] = []
+        self._id_of: Dict[Address, int] = {}
+        self._alive = array("B")
+        self._row_of = array("q")
+        # live ids, in the reference engine's dict-insertion order.
+        self._live: Dict[int, None] = {}
+        # flat view storage: c slots per row, free-list recycling.
+        self._vids = array("q")
+        self._vhops = array("q")
+        self._vlen = array("q")
+        self._free_rows: List[int] = []
+        self._zero_row = bytes(8 * self.config.view_size)
+        # False until a crash/ghost contact makes dead view entries
+        # possible; while False, the Python path skips liveness filtering
+        # (the C path always filters -- same candidate set either way).
+        self._maybe_dead_refs = False
+
+    @property
+    def accelerated(self) -> bool:
+        """Whether the compiled C cycle core is in use."""
+        return self._accel is not None
+
+    # -- id / storage management ------------------------------------------
+
+    def _intern(self, address: Address) -> int:
+        """The permanent integer id for ``address`` (allocating one if new)."""
+        node_id = self._id_of.get(address)
+        if node_id is None:
+            node_id = len(self._addr_of)
+            self._id_of[address] = node_id
+            self._addr_of.append(address)
+            self._alive.append(0)
+            self._row_of.append(-1)
+        return node_id
+
+    def _allocate_row(self) -> int:
+        if self._free_rows:
+            return self._free_rows.pop()
+        row = len(self._vlen)
+        self._vlen.append(0)
+        self._vids.frombytes(self._zero_row)
+        self._vhops.frombytes(self._zero_row)
+        return row
+
+    # -- population management --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, address: Address) -> bool:
+        node_id = self._id_of.get(address)
+        return node_id is not None and bool(self._alive[node_id])
+
+    def addresses(self) -> List[Address]:
+        """All live node addresses, in insertion order."""
+        addr_of = self._addr_of
+        return [addr_of[i] for i in self._live]
+
+    def nodes(self) -> List[FastNode]:
+        """Lightweight handles for all live nodes, in insertion order."""
+        return [FastNode(self, i) for i in self._live]
+
+    def node(self, address: Address) -> FastNode:
+        """A handle for the live node at ``address`` (raises if absent)."""
+        node_id = self._id_of.get(address)
+        if node_id is None or not self._alive[node_id]:
+            raise NodeNotFoundError(address)
+        return FastNode(self, node_id)
+
+    def is_alive(self, address: Address) -> bool:
+        """Whether a live node exists at ``address``."""
+        node_id = self._id_of.get(address)
+        return node_id is not None and bool(self._alive[node_id])
+
+    def add_node(
+        self,
+        address: Optional[Address] = None,
+        contacts: Iterable[Address] = (),
+    ) -> Address:
+        """Create a live node, optionally seeding its view with contacts.
+
+        Identical contract (and auto-address sequence) to
+        :meth:`BaseEngine.add_node`: contacts enter with hop count 0, a
+        node's own address is filtered out, the list is truncated to the
+        view capacity before deduplication -- matching what
+        ``PeerSamplingService.init`` does on the reference engine.
+        """
+        if address is None:
+            while self._next_auto_address in self:
+                self._next_auto_address += 1
+            address = self._next_auto_address
+            self._next_auto_address += 1
+        if address in self:
+            raise ConfigurationError(f"node {address!r} already exists")
+        node_id = self._intern(address)
+        self._alive[node_id] = 1
+        row = self._allocate_row()
+        self._row_of[node_id] = row
+        self._vlen[row] = 0
+        self._live[node_id] = None
+        c = self.config.view_size
+        base = row * c
+        n = 0
+        taken = 0  # duplicates consume capacity slots, like init's [:c]
+        seen = set()
+        for contact in contacts:
+            if contact == address:
+                continue
+            if taken >= c:
+                break
+            taken += 1
+            contact_id = self._intern(contact)
+            if not self._alive[contact_id]:
+                self._maybe_dead_refs = True
+            if contact_id in seen:
+                continue
+            seen.add(contact_id)
+            self._vids[base + n] = contact_id
+            self._vhops[base + n] = 0
+            n += 1
+        self._vlen[row] = n
+        self._on_node_added(address)
+        return address
+
+    def remove_node(self, address: Address) -> None:
+        """Crash the node at ``address`` (other views keep its descriptors)."""
+        node_id = self._id_of.get(address)
+        if node_id is None or not self._alive[node_id]:
+            raise NodeNotFoundError(address)
+        self._kill(node_id)
+
+    def _kill(self, node_id: int) -> None:
+        self._alive[node_id] = 0
+        self._free_rows.append(self._row_of[node_id])
+        self._row_of[node_id] = -1
+        del self._live[node_id]
+        self._maybe_dead_refs = True
+
+    def crash_random_nodes(self, count: int) -> List[Address]:
+        """Crash ``count`` uniformly random nodes; return their addresses.
+
+        Consumes the RNG exactly like the reference engine (one ``sample``
+        over the insertion-ordered live address list).
+        """
+        if count > len(self._live):
+            raise ConfigurationError(
+                f"cannot crash {count} of {len(self._live)} nodes"
+            )
+        addr_of = self._addr_of
+        victims = self.rng.sample([addr_of[i] for i in self._live], count)
+        for victim in victims:
+            self._kill(self._id_of[victim])
+        return victims
+
+    # -- introspection ----------------------------------------------------
+
+    def views(self) -> Dict[Address, Sequence[NodeDescriptor]]:
+        """A snapshot of every node's current view entries.
+
+        Same key order (node insertion) and entry order (increasing hop
+        count) as the reference engine's ``views()``.
+        """
+        c = self.config.view_size
+        addr_of = self._addr_of
+        vids = self._vids
+        vhops = self._vhops
+        row_of = self._row_of
+        vlen = self._vlen
+        result: Dict[Address, Sequence[NodeDescriptor]] = {}
+        for node_id in self._live:
+            row = row_of[node_id]
+            base = row * c
+            result[addr_of[node_id]] = [
+                NodeDescriptor(addr_of[vids[k]], vhops[k])
+                for k in range(base, base + vlen[row])
+            ]
+        return result
+
+    def dead_link_count(self) -> int:
+        """Total descriptors across all views pointing at dead addresses."""
+        c = self.config.view_size
+        alive = self._alive
+        vids = self._vids
+        row_of = self._row_of
+        vlen = self._vlen
+        count = 0
+        for node_id in self._live:
+            row = row_of[node_id]
+            base = row * c
+            for k in range(base, base + vlen[row]):
+                if not alive[vids[k]]:
+                    count += 1
+        return count
+
+    # -- execution ---------------------------------------------------------
+
+    def run_cycle(self) -> None:
+        """Execute one full cycle: every live node initiates once.
+
+        Mirrors ``CycleEngine.run_cycle`` operation for operation; see the
+        module docstring for the RNG-parity argument.
+        """
+        self._notify_before_cycle()
+        if (
+            self._accel is not None
+            and self.reachable is None
+            and type(self.rng) is random.Random
+        ):
+            self._run_cycle_c(self._accel)
+        else:
+            self._run_cycle_python()
+        self.cycle += 1
+        self._notify_after_cycle()
+
+    def run(self, cycles: int) -> None:
+        """Execute ``cycles`` consecutive cycles."""
+        for _ in range(cycles):
+            self.run_cycle()
+
+    def _run_cycle_c(self, accel: Accelerator) -> None:
+        """One cycle through the compiled core.
+
+        The C side takes over the Mersenne Twister state for the duration
+        of the cycle (same draws, same order as the reference engine) and
+        hands it back through ``setstate`` afterwards.
+        """
+        config = self.config
+        rng = self.rng
+        order = array("q", self._live)
+        state_before = rng.getstate()
+        state = array("q", state_before[1])
+        out = array("q", (0, 0))
+        pointer = Accelerator.pointer
+        accel.setup(
+            pointer(self._vids.buffer_info()[0]),
+            pointer(self._vhops.buffer_info()[0]),
+            pointer(self._vlen.buffer_info()[0]),
+            pointer(self._row_of.buffer_info()[0]),
+            Accelerator.byte_pointer(self._alive.buffer_info()[0]),
+            config.view_size,
+            config.healer,
+            config.swapper,
+            int(config.keep_self_descriptors),
+            int(config.push),
+            int(config.pull),
+            _POLICY_CODE[config.peer_selection.value],
+            _POLICY_CODE[config.view_selection.value],
+            int(self.omniscient_peer_selection),
+            int(self.shuffle_each_cycle),
+        )
+        accel.run_cycle(
+            pointer(order.buffer_info()[0]),
+            len(order),
+            pointer(state.buffer_info()[0]),
+            pointer(out.buffer_info()[0]),
+        )
+        rng.setstate((state_before[0], tuple(state), state_before[2]))
+        self.completed_exchanges += out[0]
+        self.failed_exchanges += out[1]
+
+    def _run_cycle_python(self) -> None:
+        """One cycle through the pure-Python fallback path."""
+        rng = self.rng
+        config = self.config
+        c = config.view_size
+        vids = self._vids
+        vhops = self._vhops
+        vlen = self._vlen
+        row_of = self._row_of
+        alive = self._alive
+        addr_of = self._addr_of
+        push = config.push
+        pull = config.pull
+        peer_sel = config.peer_selection
+        ps_rand = peer_sel is PeerSelection.RAND
+        ps_head = peer_sel is PeerSelection.HEAD
+        filter_dead = self.omniscient_peer_selection and self._maybe_dead_refs
+        check_dead = not self.omniscient_peer_selection
+        reachable = self.reachable
+        randrange = rng.randrange
+        merge_into = self._merge_into
+        inc = (1).__add__  # C-level h + 1 for map()
+        alive_at = alive.__getitem__
+        completed = 0
+        failed = 0
+
+        order = list(self._live)
+        if self.shuffle_each_cycle:
+            rng.shuffle(order)
+        for i in order:
+            if not alive[i]:
+                continue  # crashed by an observer mid-cycle
+            row = row_of[i]
+            base = row * c
+            ln = vlen[row]
+            end = base + ln
+            if not ln:
+                continue  # empty view: nothing to gossip with
+            # active thread, first half: age view, select peer.
+            aged = array("q", map(inc, vhops[base:end]))
+            vhops[base:end] = aged
+            if filter_dead:
+                # Dead descriptors may exist: restrict selection to live
+                # entries, like the reference liveness predicate does.
+                vslice = vids[base:end]
+                cand = list(compress(vslice, map(alive_at, vslice)))
+                if not cand:
+                    continue
+                if ps_rand:
+                    p = cand[randrange(len(cand))]
+                elif ps_head:
+                    p = cand[0]
+                else:
+                    p = cand[-1]
+            else:
+                # Either every view entry is provably alive (same choice,
+                # same single draw) or selection is non-omniscient.
+                if ps_rand:
+                    p = vids[base + randrange(ln)]
+                elif ps_head:
+                    p = vids[base]
+                else:
+                    p = vids[end - 1]
+                if check_dead and not alive[p]:
+                    # Message to a dead address: silently lost.
+                    failed += 1
+                    continue
+            if reachable is not None and not reachable(
+                addr_of[i], addr_of[p]
+            ):
+                failed += 1
+                continue
+            # request payload = merge(view, {(me, 0)}) with the receiver's
+            # increaseHopCount already applied (own descriptor 0 -> 1).
+            if push:
+                rq_ids = [i]
+                rq_ids += vids[base:end]
+                rq_hops = [1]
+                rq_hops += map(inc, aged)
+            else:
+                rq_ids = []
+                rq_hops = []
+            if pull:
+                # passive thread: the reply snapshot precedes the merge.
+                prow = row_of[p]
+                pbase = prow * c
+                pend = pbase + vlen[prow]
+                rp_ids = [p]
+                rp_ids += vids[pbase:pend]
+                rp_hops = [1]
+                rp_hops += map(inc, vhops[pbase:pend])
+                if rq_ids:
+                    merge_into(p, rq_ids, rq_hops)
+                # active thread, second half: merge the pulled view.
+                merge_into(i, rp_ids, rp_hops)
+            else:
+                merge_into(p, rq_ids, rq_hops)
+            completed += 1
+        self.completed_exchanges += completed
+        self.failed_exchanges += failed
+
+    # -- the pure-Python merge path -----------------------------------------
+
+    def _merge_into(
+        self, target: int, r_ids: List[int], r_hops: List[int]
+    ) -> None:
+        """``view <- selectView(merge(received, view))`` for one node.
+
+        Replicates, in index space, the exact pipeline of
+        ``GossipNode.handle_request`` / ``handle_response``: duplicate
+        elimination keeping the lowest hop count with first-seen
+        (received-first) tie order, a stable hop-count sort, the
+        healer/swapper pre-truncation, and the head/rand/tail
+        view-selection policy -- consuming the RNG exactly as the
+        reference engine does.  ``r_hops`` arrive with the receiver-side
+        ``increaseHopCount`` already applied; both input lists are fresh
+        per exchange and are consumed destructively.
+
+        The hot path leans on C-speed primitives: set intersection for
+        duplicate detection (received and own views rarely overlap in
+        more than a couple of addresses), and ``sorted(range(n), key=...)``
+        whose range tie order reproduces the reference merge's stable
+        first-seen ordering exactly.
+        """
+        config = self.config
+        c = config.view_size
+        vids = self._vids
+        vhops = self._vhops
+        row = self._row_of[target]
+        base = row * c
+        ln = self._vlen[row]
+        own_ids = vids[base:base + ln]
+        own_hops = vhops[base:base + ln]
+        if not config.keep_self_descriptors:
+            # The receiver's own address appears at most once in a payload
+            # (sender self-descriptor + duplicate-free view) and never in
+            # its own view; drop it like merge(..., exclude=me) does.
+            if target in r_ids:
+                k = r_ids.index(target)
+                del r_ids[k]
+                del r_hops[k]
+        else:
+            rset0 = set(r_ids)
+            if len(rset0) != len(r_ids):
+                # keep_self payloads can carry the sender's address twice
+                # (fresh self-descriptor + stored copy).  Received hops
+                # are ascending, so keeping the first occurrence keeps
+                # the lowest hop count, as the reference merge does.
+                seen = set()
+                seen_add = seen.add
+                dup_ids = r_ids
+                dup_hops = r_hops
+                r_ids = []
+                r_hops = []
+                for k, a in enumerate(dup_ids):
+                    if a not in seen:
+                        seen_add(a)
+                        r_ids.append(a)
+                        r_hops.append(dup_hops[k])
+        swap_flags = None
+        common = set(r_ids).intersection(own_ids)
+        if common:
+            # Shared addresses: keep the lowest hop count at the received
+            # (first-seen) position; strictly fresher own copies make the
+            # surviving entry own-origin for the swapper policy.  The
+            # intersection of two partial views is almost always tiny, so
+            # this is the only per-element interpreted loop on the path.
+            if config.swapper:
+                swap_flags = bytearray(len(r_ids))
+            drop_idx = []
+            for a in common:
+                k = own_ids.index(a)
+                drop_idx.append(k)
+                h = own_hops[k]
+                pos = r_ids.index(a)
+                if h < r_hops[pos]:
+                    r_hops[pos] = h
+                    if swap_flags is not None:
+                        swap_flags[pos] = 1
+            drop_idx.sort(reverse=True)
+            for k in drop_idx:
+                del own_ids[k]
+                del own_hops[k]
+        n_r = len(r_ids)
+        cids = r_ids
+        cids += own_ids  # destructive extend: the payload is owned here
+        chops = r_hops
+        chops += own_hops
+        n = len(cids)
+        # stable hop-count sort; range order is the first-seen tie order.
+        order = sorted(range(n), key=chops.__getitem__)
+        m = n
+        # healer/swapper pre-truncation (no-ops when H = S = 0).
+        if m > c and (config.healer or config.swapper):
+            surplus = m - c
+            healer = config.healer
+            if healer:
+                drop = healer if healer < surplus else surplus
+                del order[m - drop:]
+                m -= drop
+                surplus -= drop
+            if surplus > 0 and config.swapper:
+                to_drop = config.swapper if config.swapper < surplus else surplus
+                kept = []
+                for q in order:
+                    if to_drop and (
+                        q >= n_r
+                        or (swap_flags is not None and swap_flags[q])
+                    ):
+                        to_drop -= 1
+                    else:
+                        kept.append(q)
+                order = kept
+                m = len(order)
+        # view-selection truncation.
+        if m > c:
+            view_sel = config.view_selection
+            if view_sel is ViewSelection.HEAD:
+                del order[c:]
+            elif view_sel is ViewSelection.TAIL:
+                del order[:m - c]
+            else:
+                # RAND: same draws as sample(list, c); the stable re-sort
+                # by hop count keeps the sample order on ties, like
+                # select_rand's chosen.sort(key=hop_count).
+                picked = self.rng.sample(range(m), c)
+                picked.sort(key=lambda q: chops[order[q]])
+                order = [order[q] for q in picked]
+            m = c
+        vids[base:base + m] = array("q", map(cids.__getitem__, order))
+        vhops[base:base + m] = array("q", map(chops.__getitem__, order))
+        self._vlen[row] = m

@@ -58,6 +58,7 @@ class TestProtocolConfig:
         with pytest.raises(ConfigurationError):
             ProtocolConfig(PeerSelection.RAND, ViewSelection.HEAD, "push")
 
+
     def test_push_pull_properties(self):
         assert newscast().push and newscast().pull
         assert lpbcast().push and not lpbcast().pull
@@ -75,6 +76,36 @@ class TestProtocolConfig:
 
     def test_hashable(self):
         assert len({newscast(), newscast(), lpbcast()}) == 2
+
+
+class TestHealerSwapper:
+    def test_defaults_are_zero(self):
+        config = newscast()
+        assert config.healer == 0
+        assert config.swapper == 0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            newscast().replace(healer=-1)
+        with pytest.raises(ConfigurationError):
+            newscast().replace(swapper=-2)
+
+    def test_label_unchanged_when_zero(self):
+        assert newscast().label == "(rand,head,pushpull)"
+
+    def test_label_includes_nonzero_parameters(self):
+        config = newscast().replace(healer=1, swapper=3)
+        assert config.label == "(rand,head,pushpull);H1S3"
+
+    def test_label_round_trips_through_from_label(self):
+        config = newscast().replace(healer=1, swapper=3)
+        assert ProtocolConfig.from_label(config.label) == config
+
+    def test_replace_round_trip(self):
+        config = newscast().replace(healer=2, swapper=1)
+        assert config.healer == 2
+        assert config.swapper == 1
+        assert config.replace(healer=0, swapper=0) == newscast()
 
 
 class TestNamedProtocols:

@@ -1,0 +1,258 @@
+"""Property-based invariant tests for :mod:`repro.core.view`.
+
+Runs under ``hypothesis`` when the package is importable; a randomized
+fixed-seed fallback exercises the same invariant checkers otherwise, so
+the properties are always enforced:
+
+- ``merge`` never yields duplicate addresses, always keeps the lowest hop
+  count per address and returns a hop-count-ordered buffer;
+- the three view-selection truncations are capacity-respecting subsets;
+- ``apply_healer_swapper`` never cuts below the capacity and only removes
+  elements;
+- a node's own address never enters its view through a full exchange
+  (active + passive thread), for any policy combination including
+  healer/swapper parameters.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.descriptor import NodeDescriptor
+from repro.core.protocol import GossipNode
+from repro.core.view import (
+    apply_healer_swapper,
+    merge,
+    select_head,
+    select_rand,
+    select_tail,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    HAVE_HYPOTHESIS = False
+
+FALLBACK_SEEDS = range(40)
+FALLBACK_CASES_PER_SEED = 8
+
+
+# -- invariant checkers (shared by hypothesis and the fallback) ------------
+
+
+def check_merge_invariants(collections, exclude):
+    flat = [d for collection in collections for d in collection]
+    result = merge(*collections, exclude=exclude)
+    addresses = [d.address for d in result]
+    # no duplicate addresses
+    assert len(addresses) == len(set(addresses))
+    # the excluded address never appears
+    assert exclude not in addresses
+    # hop-count ordered
+    hops = [d.hop_count for d in result]
+    assert hops == sorted(hops)
+    # lowest hop count per address wins; nothing is invented
+    best = {}
+    for descriptor in flat:
+        if descriptor.address == exclude:
+            continue
+        current = best.get(descriptor.address)
+        if current is None or descriptor.hop_count < current:
+            best[descriptor.address] = descriptor.hop_count
+    assert {d.address: d.hop_count for d in result} == best
+
+
+def check_truncation_invariants(buffer, c, rng):
+    buffer = merge(buffer)  # policies operate on merge output
+    for name, selected in (
+        ("head", select_head(buffer, c)),
+        ("tail", select_tail(buffer, c)),
+        ("rand", select_rand(buffer, c, rng)),
+    ):
+        # capacity-respecting
+        assert len(selected) == min(c, len(buffer)), name
+        # a subset of the buffer (object identity: nothing is invented)
+        buffer_ids = {id(d) for d in buffer}
+        assert all(id(d) in buffer_ids for d in selected), name
+        # no duplicates survive
+        addresses = [d.address for d in selected]
+        assert len(addresses) == len(set(addresses)), name
+        # still hop-count ordered
+        hops = [d.hop_count for d in selected]
+        assert hops == sorted(hops), name
+
+
+def check_healer_swapper_invariants(buffer, c, healer, swapper, own_count):
+    buffer = merge(buffer)
+    own = {id(d) for d in buffer[:own_count]}
+    before = list(buffer)
+    result = apply_healer_swapper(list(buffer), c, healer, swapper, own)
+    # never cuts below the capacity
+    assert len(result) >= min(c, len(before))
+    # removes at most healer + swapper elements
+    assert len(result) >= len(before) - max(0, healer) - max(0, swapper)
+    # a subset, in the original relative order
+    before_ids = [id(d) for d in before]
+    result_ids = [id(d) for d in result]
+    assert all(i in before_ids for i in result_ids)
+    positions = [before_ids.index(i) for i in result_ids]
+    assert positions == sorted(positions)
+    # H = S = 0 is the identity
+    assert apply_healer_swapper(list(before), c, 0, 0, own) == before
+
+
+def check_exchange_never_self(label, c, h, s, seed, n_peers):
+    """Drive full exchanges; a node must never see itself in its view."""
+    config = ProtocolConfig.from_label(label, c).replace(healer=h, swapper=s)
+    rng = random.Random(seed)
+    nodes = [GossipNode(i, config, rng) for i in range(n_peers)]
+    for node in nodes:
+        others = [p for p in range(n_peers) if p != node.address]
+        contacts = rng.sample(others, min(c, len(others)))
+        node.view.replace([NodeDescriptor(a, 0) for a in contacts])
+    for _ in range(8):
+        for node in nodes:
+            exchange = node.begin_exchange()
+            if exchange is None:
+                continue
+            peer = nodes[exchange.peer]
+            reply = peer.handle_request(node.address, exchange.payload)
+            if reply is not None:
+                node.handle_response(peer.address, reply)
+    for node in nodes:
+        assert node.address not in node.view.addresses()
+
+
+# -- generators ------------------------------------------------------------
+
+
+def random_descriptors(rng, max_len=40, max_address=15, max_hop=12):
+    return [
+        NodeDescriptor(rng.randrange(max_address), rng.randrange(max_hop))
+        for _ in range(rng.randrange(max_len + 1))
+    ]
+
+
+if HAVE_HYPOTHESIS:
+    descriptor_st = st.builds(
+        NodeDescriptor,
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=11),
+    )
+    buffer_st = st.lists(descriptor_st, max_size=40)
+
+    class TestHypothesisProperties:
+        @settings(max_examples=120, deadline=None)
+        @given(
+            collections=st.lists(buffer_st, min_size=1, max_size=3),
+            exclude=st.one_of(
+                st.none(), st.integers(min_value=0, max_value=14)
+            ),
+        )
+        def test_merge_invariants(self, collections, exclude):
+            check_merge_invariants(collections, exclude)
+
+        @settings(max_examples=120, deadline=None)
+        @given(
+            buffer=buffer_st,
+            c=st.integers(min_value=1, max_value=20),
+            seed=st.integers(min_value=0, max_value=999),
+        )
+        def test_truncation_invariants(self, buffer, c, seed):
+            check_truncation_invariants(buffer, c, random.Random(seed))
+
+        @settings(max_examples=120, deadline=None)
+        @given(
+            buffer=buffer_st,
+            c=st.integers(min_value=1, max_value=12),
+            healer=st.integers(min_value=0, max_value=5),
+            swapper=st.integers(min_value=0, max_value=5),
+            own_count=st.integers(min_value=0, max_value=40),
+        )
+        def test_healer_swapper_invariants(
+            self, buffer, c, healer, swapper, own_count
+        ):
+            check_healer_swapper_invariants(
+                buffer, c, healer, swapper, own_count
+            )
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            label=st.sampled_from(
+                [
+                    "(rand,head,pushpull)",
+                    "(rand,rand,push)",
+                    "(tail,rand,pushpull)",
+                    "(head,head,pull)",
+                ]
+            ),
+            c=st.integers(min_value=2, max_value=8),
+            h=st.integers(min_value=0, max_value=3),
+            s=st.integers(min_value=0, max_value=3),
+            seed=st.integers(min_value=0, max_value=999),
+        )
+        def test_exchange_never_self(self, label, c, h, s, seed):
+            check_exchange_never_self(label, c, h, s, seed, n_peers=10)
+
+
+class TestRandomizedFallback:
+    """Fixed-seed randomized versions of the same properties.
+
+    Always runs (also alongside hypothesis), guaranteeing the invariants
+    are enforced on installations without hypothesis.
+    """
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_merge_invariants(self, seed):
+        rng = random.Random(seed)
+        for _ in range(FALLBACK_CASES_PER_SEED):
+            collections = [
+                random_descriptors(rng)
+                for _ in range(rng.randrange(1, 4))
+            ]
+            exclude = rng.choice([None, rng.randrange(15)])
+            check_merge_invariants(collections, exclude)
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_truncation_invariants(self, seed):
+        rng = random.Random(seed)
+        for _ in range(FALLBACK_CASES_PER_SEED):
+            check_truncation_invariants(
+                random_descriptors(rng), rng.randrange(1, 21), rng
+            )
+
+    @pytest.mark.parametrize("seed", FALLBACK_SEEDS)
+    def test_healer_swapper_invariants(self, seed):
+        rng = random.Random(seed)
+        for _ in range(FALLBACK_CASES_PER_SEED):
+            check_healer_swapper_invariants(
+                random_descriptors(rng),
+                rng.randrange(1, 13),
+                rng.randrange(6),
+                rng.randrange(6),
+                rng.randrange(41),
+            )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_exchange_never_self(self, seed):
+        rng = random.Random(seed)
+        label = rng.choice(
+            [
+                "(rand,head,pushpull)",
+                "(rand,rand,push)",
+                "(tail,rand,pushpull)",
+                "(head,head,pull)",
+            ]
+        )
+        check_exchange_never_self(
+            label,
+            c=rng.randrange(2, 9),
+            h=rng.randrange(4),
+            s=rng.randrange(4),
+            seed=seed,
+            n_peers=10,
+        )

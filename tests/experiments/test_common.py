@@ -4,15 +4,20 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.experiments.common import (
+    ENGINES,
     SCALES,
     Scale,
     autocorrelation_protocols,
     converged_engine,
     current_scale,
+    engine_class,
     growing_plot_protocols,
+    make_engine,
     push_protocols,
     studied_protocols,
 )
+from repro.simulation.engine import CycleEngine
+from repro.simulation.fast import FastCycleEngine
 
 
 class TestScales:
@@ -97,3 +102,68 @@ class TestConvergedEngine:
         engine = converged_engine(newscast(6), scale, seed=0)
         assert engine.cycle == 5
         assert len(engine) == 40
+
+
+class TestEngineSelection:
+    def test_registry_contents(self):
+        assert ENGINES == {"cycle": CycleEngine, "fast": FastCycleEngine}
+
+    def test_default_is_cycle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_class() is CycleEngine
+
+    def test_explicit_name(self):
+        assert engine_class("fast") is FastCycleEngine
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert engine_class() is FastCycleEngine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            engine_class("warp")
+
+    def test_make_engine_builds_selected_class(self):
+        from repro.core.config import newscast
+
+        engine = make_engine(newscast(6), seed=1, engine="fast")
+        assert isinstance(engine, FastCycleEngine)
+
+    def test_engines_reproduce_identical_overlays(self):
+        # The selling point of the registry: switching engine names does
+        # not change any experiment outcome for a given seed.
+        from repro.core.config import newscast
+        from repro.simulation.scenarios import random_bootstrap
+
+        views = []
+        for name in ("cycle", "fast"):
+            engine = make_engine(newscast(6), seed=9, engine=name)
+            random_bootstrap(engine, 40)
+            engine.run(15)
+            views.append(
+                {
+                    a: tuple((d.address, d.hop_count) for d in v)
+                    for a, v in engine.views().items()
+                }
+            )
+        assert views[0] == views[1]
+
+    def test_converged_engine_accepts_engine_name(self):
+        from repro.core.config import newscast
+
+        scale = Scale(
+            name="test",
+            n_nodes=30,
+            view_size=6,
+            cycles=3,
+            growth_cycles=2,
+            runs=1,
+            traced_nodes=3,
+            removal_repeats=1,
+            metrics_every=1,
+            clustering_sample=None,
+            path_sources=None,
+        )
+        engine = converged_engine(newscast(6), scale, seed=0, engine="fast")
+        assert isinstance(engine, FastCycleEngine)
+        assert engine.cycle == 3

@@ -5,12 +5,15 @@ import pytest
 from repro.core.config import ProtocolConfig
 from repro.core.errors import ConfigurationError
 from repro.simulation.engine import CycleEngine
+from repro.simulation.fast import FastCycleEngine
 from repro.simulation.scenarios import (
     GrowingScenario,
     lattice_bootstrap,
     random_bootstrap,
     start_growing,
 )
+
+ENGINE_CLASSES = [CycleEngine, FastCycleEngine]
 
 
 def make_engine(c=5, seed=0, label="(rand,head,pushpull)"):
@@ -134,6 +137,61 @@ class TestGrowingScenario:
             GrowingScenario(0, 1)
         with pytest.raises(ConfigurationError):
             GrowingScenario(10, 0)
+
+
+class TestSharedContactListBootstrap:
+    """The add_nodes bootstrap foot-gun (shared contact list).
+
+    ``add_nodes`` passes one shared contact list to every ``add_node``
+    call while the self filter (``c != address``) is applied per node.
+    These tests pin that no node can ever bootstrap a descriptor of
+    itself into its own view through that path -- including when the
+    shared list names the joiners' own (auto-assigned) addresses -- for
+    both engine implementations.  The per-node filter in ``add_node``
+    (and the second one in ``PeerSamplingService.init``) makes the shared
+    list safe; if either filter is ever dropped, these tests fail.
+    """
+
+    @pytest.mark.parametrize("cls", ENGINE_CLASSES)
+    def test_auto_addressed_batch_with_self_referential_contacts(self, cls):
+        engine = cls(ProtocolConfig.from_label("(rand,head,pushpull)", 8), seed=0)
+        # Auto addresses will be 0..4; the shared contact list names all
+        # of them, so every joiner receives its own address as a contact.
+        addresses = engine.add_nodes(5, contacts=[0, 1, 2, 3, 4])
+        assert addresses == [0, 1, 2, 3, 4]
+        for address in addresses:
+            view = engine.node(address).view
+            assert address not in view.addresses()
+            # the other four contacts all made it in
+            assert len(view) == 4
+
+    @pytest.mark.parametrize("cls", ENGINE_CLASSES)
+    def test_explicit_batch_sharing_one_list(self, cls):
+        engine = cls(ProtocolConfig.from_label("(rand,head,pushpull)", 4), seed=0)
+        engine.add_node("hub")
+        joiners = engine.add_nodes(6, contacts=["hub"])
+        for address in joiners:
+            assert engine.node(address).view.addresses() == ["hub"]
+
+    @pytest.mark.parametrize("cls", ENGINE_CLASSES)
+    def test_self_free_views_survive_gossip(self, cls):
+        engine = cls(ProtocolConfig.from_label("(rand,head,pushpull)", 6), seed=3)
+        engine.add_nodes(20, contacts=list(range(20)))
+        engine.run(10)
+        for node in engine.nodes():
+            assert node.address not in node.view.addresses()
+
+    def test_joiner_batch_never_bootstraps_into_own_view(self):
+        # Regression for the add_nodes bootstrap foot-gun: the batch
+        # shares one contact list, so the per-node self filter must still
+        # hold for every joiner even when the growing scenario's contact
+        # ends up being one of the joiners themselves.
+        for cls in ENGINE_CLASSES:
+            engine = cls(ProtocolConfig.from_label("(rand,head,pushpull)", 5), seed=0)
+            scenario = start_growing(engine, target_size=30, nodes_per_cycle=7)
+            engine.run(6)
+            for node in engine.nodes():
+                assert node.address not in node.view.addresses(), cls
 
     def test_growth_produces_connected_overlay_for_pushpull(self):
         # The paper's proportions (join rate ~3.3x the view size) with a
