@@ -1,10 +1,45 @@
-"""Legacy setup shim.
+"""Packaging for the peer sampling service reproduction.
 
-All metadata lives in ``pyproject.toml``; this file only enables
-``pip install -e .`` on environments without the ``wheel`` package
-(pip then falls back to the legacy ``setup.py develop`` code path).
+Installs the ``repro`` package from ``src/`` plus two console entry
+points:
+
+- ``repro-node`` -- run one networked peer sampling daemon (UDP);
+- ``repro-experiments`` -- regenerate the paper's tables and figures.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+_readme = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+if os.path.exists(_readme):
+    with open(_readme, encoding="utf-8") as _fh:
+        _long_description = _fh.read()
+else:
+    _long_description = ""
+
+setup(
+    name="repro-peer-sampling",
+    version="1.2.0",
+    description=(
+        "Reproduction of 'The Peer Sampling Service' (Jelasity et al., "
+        "Middleware 2004): gossip protocol library, simulation engines, "
+        "experiment suite and an asyncio UDP deployment layer"
+    ),
+    long_description=_long_description,
+    long_description_content_type="text/markdown",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "pytest-timeout", "hypothesis"],
+        "metrics": ["scipy"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-node=repro.net.cli:main",
+            "repro-experiments=repro.experiments.runner:main",
+        ],
+    },
+)

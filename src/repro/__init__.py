@@ -25,6 +25,9 @@ The package provides:
   services).
 - :mod:`repro.experiments` -- one module per paper table/figure, regenerating
   the reported rows and series.
+- :mod:`repro.net` -- the deployment layer: asyncio UDP daemons running the
+  service as real networked processes (``repro-node`` CLI, local-cluster
+  harness, deterministic loopback transport, the ``live`` engine).
 
 Quickstart::
 
@@ -54,7 +57,7 @@ from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALL_PROTOCOLS",

@@ -170,6 +170,71 @@ class ProtocolConfig:
             ) from exc
 
 
+@dataclasses.dataclass(frozen=True)
+class NetworkConfig:
+    """Timing and wire parameters of a *deployed* protocol instance.
+
+    The simulation engines abstract time into cycles; the networked daemon
+    (:mod:`repro.net`) needs real-time equivalents of the paper's model
+    plus the failure-handling knobs a deployment cannot avoid:
+
+    Parameters
+    ----------
+    cycle_seconds:
+        Target wall-clock length of one gossip cycle (the paper's ``T``).
+    jitter:
+        Fraction of ``cycle_seconds`` by which each wait is uniformly
+        perturbed (``+/- jitter * cycle_seconds``).  Desynchronizes the
+        active threads of a cluster started at the same instant, exactly
+        like the random phase offsets the event-driven engine models.
+    request_timeout:
+        Seconds the active thread waits for a pull reply before giving the
+        exchange up.  Replies arriving after the timeout are *dropped*, not
+        merged -- a late merge would resurrect descriptors the view
+        selection already aged past.
+    wire_version:
+        Codec version used for *initiated* requests
+        (:data:`repro.core.codec.WIRE_FORMAT_V2` by default).  Responders
+        always answer in the version the request arrived in, so mixed
+        clusters interoperate without any handshake.
+    bind_host:
+        Interface the UDP transport binds to.  The default loopback
+        address keeps accidental exposure impossible; a real deployment
+        overrides it deliberately.
+    """
+
+    cycle_seconds: float = 1.0
+    jitter: float = 0.1
+    request_timeout: float = 0.5
+    wire_version: int = 2
+    bind_host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        from repro.core.codec import SUPPORTED_WIRE_VERSIONS
+
+        if self.cycle_seconds <= 0:
+            raise ConfigurationError(
+                f"cycle_seconds must be > 0, got {self.cycle_seconds}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+        if self.request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+        if self.wire_version not in SUPPORTED_WIRE_VERSIONS:
+            raise ConfigurationError(
+                f"wire_version must be one of {SUPPORTED_WIRE_VERSIONS}, "
+                f"got {self.wire_version}"
+            )
+
+    def replace(self, **changes: object) -> "NetworkConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+
 def newscast(view_size: int = DEFAULT_VIEW_SIZE) -> ProtocolConfig:
     """The Newscast protocol: ``(rand, head, pushpull)``."""
     return ProtocolConfig(

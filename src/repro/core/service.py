@@ -15,6 +15,7 @@ age out of other views (paper Section 2).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional
 
 from repro.core.descriptor import Address, NodeDescriptor
@@ -28,13 +29,24 @@ class PeerSamplingService:
     Multiple gossip applications on the same node are expected to share a
     single service instance (paper Section 2: the service can be "utilized
     by multiple gossip protocols simultaneously").
+
+    Thread/task safety: ``getPeer`` may be called from application threads
+    while the node's view is concurrently mutated by the gossip loop (the
+    situation of a real deployment, where :class:`repro.net.GossipDaemon`
+    runs the active/passive threads on an asyncio loop).  All view access
+    through this class therefore serializes on :attr:`lock`; the daemon
+    acquires the same lock around its merges.  The lock is reentrant so a
+    holder can call ``get_peer`` while already inside a locked section.
+    The single-threaded simulation engines pay only an uncontended-lock
+    acquisition per sample.
     """
 
-    __slots__ = ("_node", "_initialized")
+    __slots__ = ("_node", "_initialized", "_lock")
 
     def __init__(self, node: GossipNode) -> None:
         self._node = node
         self._initialized = len(node.view) > 0
+        self._lock = threading.RLock()
 
     @property
     def node(self) -> GossipNode:
@@ -48,8 +60,27 @@ class PeerSamplingService:
 
     @property
     def initialized(self) -> bool:
-        """Whether ``init`` has been called (or the view was pre-seeded)."""
+        """Whether ``init`` has been called (or the view was ever seeded).
+
+        A service constructed before its node's view was bootstrapped
+        (e.g. a daemon's service, built at boot and seeded afterwards)
+        becomes initialized the moment the view holds an entry; once
+        initialized it stays so even if the view later empties out.
+        """
+        if not self._initialized and len(self._node.view) > 0:
+            self._initialized = True
         return self._initialized
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The reentrant lock guarding all view access through the service.
+
+        Anything that mutates the underlying node's view outside this class
+        (the networked gossip loop, custom maintenance code) must hold this
+        lock for the duration of the mutation so concurrent ``get_peer``
+        calls never observe a half-merged view.
+        """
+        return self._lock
 
     def init(self, contacts: Iterable[Address] = ()) -> None:
         """Initialize the service with zero or more contact addresses.
@@ -58,16 +89,17 @@ class PeerSamplingService:
         a no-op (the paper: "initializes the service ... if this has not
         been done before").
         """
-        if self._initialized:
-            return
-        entries: List[NodeDescriptor] = list(self._node.view)
-        for contact in contacts:
-            if contact == self._node.address:
-                continue
-            entries.append(NodeDescriptor(contact, 0))
-        capacity = self._node.view.capacity
-        self._node.view.replace(entries[:capacity])
-        self._initialized = True
+        with self._lock:
+            if self.initialized:
+                return
+            entries: List[NodeDescriptor] = list(self._node.view)
+            for contact in contacts:
+                if contact == self._node.address:
+                    continue
+                entries.append(NodeDescriptor(contact, 0))
+            capacity = self._node.view.capacity
+            self._node.view.replace(entries[:capacity])
+            self._initialized = True
 
     def get_peer(self) -> Optional[Address]:
         """Return a sampled peer address.
@@ -86,11 +118,12 @@ class PeerSamplingService:
             what the paper's evaluation characterizes: close to, but not,
             uniform over the group.
         """
-        if not self._initialized:
-            raise NotInitializedError(
-                "PeerSamplingService.get_peer() called before init()"
-            )
-        return self._node.sample_peer()
+        with self._lock:
+            if not self.initialized:
+                raise NotInitializedError(
+                    "PeerSamplingService.get_peer() called before init()"
+                )
+            return self._node.sample_peer()
 
     def get_peers(self, count: int) -> List[Address]:
         """Sample ``count`` peers by repeated ``get_peer`` calls.

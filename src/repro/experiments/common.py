@@ -17,6 +17,7 @@ from typing import Dict, Optional, Tuple, Type
 from repro.core.config import ProtocolConfig
 from repro.core.errors import ConfigurationError
 from repro.core.policies import PeerSelection, Propagation, ViewSelection
+from repro.net.engine import LiveEngine
 from repro.simulation.base import BaseEngine
 from repro.simulation.engine import CycleEngine
 from repro.simulation.fast import FastCycleEngine
@@ -27,13 +28,17 @@ SCALE_ENV_VAR = "REPRO_SCALE"
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 """Environment variable selecting the default simulation engine."""
 
+
 ENGINES: Dict[str, Type[BaseEngine]] = {
     "cycle": CycleEngine,
     "fast": FastCycleEngine,
+    "live": LiveEngine,
 }
 """Engines selectable by name.  ``cycle`` is the object-per-node reference
 implementation; ``fast`` is the array-backed engine (byte-identical results
-given the same seed, far faster at scale)."""
+given the same seed, far faster at scale); ``live`` executes every exchange
+over the in-process datagram transport of :mod:`repro.net` (byte-identical
+to ``cycle``, for small-N validation of the deployment layer)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,6 +64,11 @@ class Scale:
     """Node sample for clustering estimates (None = exact)."""
     path_sources: Optional[int]
     """BFS sources for path-length estimates (None = exact)."""
+    default_engine: str = "cycle"
+    """Engine used at this scale unless overridden (``--engine`` /
+    ``$REPRO_ENGINE``).  ``full`` defaults to ``fast``: the engines are
+    byte-identical for the same seed, and only the array-backed engine
+    makes the paper's true N = 10^4 practical out of the box."""
 
     @property
     def growth_rate(self) -> int:
@@ -109,6 +119,7 @@ SCALES: Dict[str, Scale] = {
         metrics_every=10,
         clustering_sample=1000,
         path_sources=50,
+        default_engine="fast",
     ),
 }
 
@@ -125,14 +136,18 @@ def current_scale(name: Optional[str] = None) -> Scale:
         ) from None
 
 
-def engine_class(name: Optional[str] = None) -> Type[BaseEngine]:
-    """Resolve an engine by explicit name, ``$REPRO_ENGINE``, or ``cycle``.
+def engine_class(
+    name: Optional[str] = None, default: Optional[str] = None
+) -> Type[BaseEngine]:
+    """Resolve an engine name: explicit > ``$REPRO_ENGINE`` > ``default``.
 
-    Both engines produce byte-identical results given the same seed; the
-    ``fast`` engine is the one to use for ``full``-scale (or larger) runs.
+    ``default`` is how scale presets choose their engine (``full`` runs on
+    ``fast`` out of the box); it falls back to ``cycle``.  All engines
+    produce byte-identical results given the same seed, so the resolution
+    order only affects speed, never numbers.
     """
     if name is None:
-        name = os.environ.get(ENGINE_ENV_VAR, "cycle")
+        name = os.environ.get(ENGINE_ENV_VAR) or default or "cycle"
     try:
         return ENGINES[name]
     except KeyError:
@@ -146,10 +161,16 @@ def make_engine(
     seed: Optional[int] = None,
     engine: Optional[str] = None,
     rng: Optional[random.Random] = None,
+    scale: Optional[Scale] = None,
     **kwargs: object,
 ) -> BaseEngine:
-    """Instantiate the engine selected by ``engine`` / ``$REPRO_ENGINE``."""
-    cls = engine_class(engine)
+    """Instantiate the engine selected by ``engine`` / ``$REPRO_ENGINE``.
+
+    When a ``scale`` is given, its :attr:`Scale.default_engine` is the
+    fallback -- the way every experiment module runs, so ``full``-scale
+    invocations pick the array-backed engine automatically.
+    """
+    cls = engine_class(engine, default=scale.default_engine if scale else None)
     return cls(config, seed=seed, rng=rng, **kwargs)  # type: ignore[call-arg]
 
 
@@ -231,7 +252,7 @@ def converged_engine(
     """
     from repro.simulation.scenarios import random_bootstrap
 
-    instance = make_engine(config, seed=seed, engine=engine)
+    instance = make_engine(config, seed=seed, engine=engine, scale=scale)
     random_bootstrap(instance, n_nodes=scale.n_nodes)
     instance.run(scale.cycles)
     return instance

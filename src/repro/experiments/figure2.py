@@ -54,7 +54,7 @@ class Figure2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> MetricSeries:
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     start_growing(engine, scale.n_nodes, scale.growth_rate)
     recorder = MetricsRecorder(
         every=scale.metrics_every,

@@ -55,7 +55,7 @@ def _bootstrap(engine: BaseEngine, scenario: str, n_nodes: int) -> None:
 
 
 def _run_one(config, scenario: str, scale: Scale, seed: int) -> MetricSeries:
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     _bootstrap(engine, scenario, scale.n_nodes)
     recorder = MetricsRecorder(
         every=scale.metrics_every,

@@ -80,7 +80,7 @@ def _summarize(cycle: int, degrees: np.ndarray) -> DegreeSnapshot:
 
 
 def _run_one(config, scale: Scale, checkpoints: List[int], seed: int):
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     random_bootstrap(engine, n_nodes=scale.n_nodes)
     result: List[DegreeSnapshot] = []
     for checkpoint in checkpoints:

@@ -53,7 +53,7 @@ class Figure5Result:
 
 
 def _run_one(config, scale: Scale, max_lag: int, seed: int) -> np.ndarray:
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
     tracer = DegreeTracer(addresses[: scale.traced_nodes])
     engine.add_observer(tracer)

@@ -68,7 +68,7 @@ class Table1Result:
 
 def _run_once(config, scale: Scale, seed: int) -> List[int]:
     """One growing run; returns the component sizes at the final cycle."""
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     start_growing(engine, scale.n_nodes, scale.growth_rate)
     engine.run(scale.cycles)
     return component_sizes(GraphSnapshot.from_engine(engine))

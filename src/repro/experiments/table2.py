@@ -71,7 +71,7 @@ class Table2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> Table2Row:
-    engine = make_engine(config, seed=seed)
+    engine = make_engine(config, seed=seed, scale=scale)
     addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
     tracer = DegreeTracer(addresses[: scale.traced_nodes])
     engine.add_observer(tracer)

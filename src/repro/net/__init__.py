@@ -1,0 +1,64 @@
+"""Deployment layer: the peer sampling service over real datagrams.
+
+The paper defines the peer sampling service as deployable middleware
+(Section 2); this package is the execution layer that makes the library's
+node logic an actual networked daemon:
+
+- :mod:`repro.net.transport` -- the datagram abstraction: asyncio UDP
+  sockets and a deterministic in-process loopback (which reuses the
+  simulator's latency/loss models);
+- :mod:`repro.net.daemon` -- :class:`GossipDaemon`, the Figure 1
+  active/passive threads as asyncio tasks with per-cycle jitter, request
+  timeouts and late-reply drop;
+- :mod:`repro.net.cluster` -- :class:`LocalCluster`, a harness booting N
+  daemons on localhost, injecting churn and feeding live view snapshots
+  into the standard :mod:`repro.graph`/:mod:`repro.stats` pipelines;
+- :mod:`repro.net.engine` -- :class:`LiveEngine`, the ``live`` entry of
+  the engine registry: the cycle model executed over the wire stack,
+  byte-identical to ``CycleEngine`` for the same seed;
+- :mod:`repro.net.cli` -- the ``repro-node`` console entry point.
+
+Quickstart (deterministic in-process cluster)::
+
+    from repro.core.config import newscast
+    from repro.net import LocalCluster
+
+    cluster = LocalCluster(newscast(view_size=15), n_nodes=50,
+                           transport="loopback", seed=1)
+    print(cluster.run(cycles=30))   # boots, gossips, summarizes, stops
+
+or over real UDP sockets: ``transport="udp"`` (see
+``examples/live_cluster.py`` and the ``repro-node`` CLI for multi-process
+deployments).
+"""
+
+from repro.core.config import NetworkConfig
+from repro.net.cluster import LocalCluster, in_degrees, summarize_views
+from repro.net.daemon import DaemonStats, GossipDaemon
+from repro.net.engine import LiveEngine
+from repro.net.transport import (
+    DatagramTransport,
+    LoopbackNetwork,
+    LoopbackTransport,
+    TransportError,
+    UdpTransport,
+    format_address,
+    parse_address,
+)
+
+__all__ = [
+    "DaemonStats",
+    "DatagramTransport",
+    "GossipDaemon",
+    "LiveEngine",
+    "LocalCluster",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "NetworkConfig",
+    "TransportError",
+    "UdpTransport",
+    "format_address",
+    "in_degrees",
+    "parse_address",
+    "summarize_views",
+]

@@ -1,0 +1,291 @@
+"""Datagram transports for the deployed peer sampling service.
+
+Two interchangeable implementations of one tiny abstraction
+(:class:`DatagramTransport`): fire-and-forget datagrams between opaque
+addresses, delivered to a receive callback.
+
+- :class:`UdpTransport` -- real asyncio UDP sockets.  Addresses are
+  ``"host:port"`` strings, which doubles as the node address on the wire:
+  the source address of an incoming datagram *is* the sender's gossip
+  address, so messages need no explicit sender field.
+- :class:`LoopbackTransport` -- in-process delivery through a shared
+  :class:`LoopbackNetwork`.  Deterministic given a seeded RNG, it reuses
+  the simulation's :class:`~repro.simulation.network.LatencyModel` /
+  :class:`~repro.simulation.network.LossModel` implementations to delay
+  and drop datagrams, so the same network assumptions drive the
+  event-driven simulator and the deployed daemon's tests.
+
+Both transports deliver datagrams as ``receiver(data, sender_address)``
+callbacks on the event loop thread and never raise from ``send`` for
+transient conditions: an unroutable destination is a lost datagram, which
+is exactly the failure model of the paper (no failure detector -- dead
+links decay through the view dynamics).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError, ReproError
+from repro.simulation.network import LatencyModel, LossModel
+
+__all__ = [
+    "DatagramTransport",
+    "LoopbackNetwork",
+    "LoopbackTransport",
+    "TransportError",
+    "UdpTransport",
+    "format_address",
+    "parse_address",
+]
+
+Receiver = Callable[[bytes, Address], None]
+
+
+class TransportError(ReproError):
+    """A transport could not be started or used."""
+
+
+def format_address(host: str, port: int) -> str:
+    """The canonical ``"host:port"`` node address of a UDP endpoint."""
+    return f"{host}:{port}"
+
+
+def parse_address(address: Address) -> Tuple[str, int]:
+    """Split a ``"host:port"`` node address into socket address parts."""
+    if not isinstance(address, str) or ":" not in address:
+        raise TransportError(f"not a host:port address: {address!r}")
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise TransportError(f"not a host:port address: {address!r}") from None
+    if not 0 < port < 65536:
+        raise TransportError(f"port out of range in address: {address!r}")
+    return host, port
+
+
+class DatagramTransport:
+    """Abstract fire-and-forget datagram endpoint.
+
+    Lifecycle: construct, assign :attr:`receiver`, ``await start()``, use
+    :meth:`send`, ``await close()``.  ``start`` is idempotent so owners
+    that resolve their address early (ephemeral UDP ports) can start the
+    transport before handing it to a daemon.
+    """
+
+    receiver: Optional[Receiver] = None
+    """Callback ``(data, sender_address)`` for every received datagram."""
+
+    @property
+    def local_address(self) -> Address:
+        """The address peers can reach this endpoint at."""
+        raise NotImplementedError
+
+    async def start(self) -> None:
+        """Bind/register the endpoint (idempotent)."""
+        raise NotImplementedError
+
+    def send(self, destination: Address, data: bytes) -> None:
+        """Send one datagram; losses are silent (the paper's model)."""
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release the endpoint; no datagrams are delivered afterwards."""
+        raise NotImplementedError
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, owner: "UdpTransport") -> None:
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr: Tuple) -> None:
+        receiver = self._owner.receiver
+        if receiver is not None:
+            receiver(bytes(data), format_address(addr[0], addr[1]))
+
+    def error_received(self, exc: Exception) -> None:
+        # ICMP port-unreachable and friends: a lost datagram, by design.
+        self._owner.send_errors += 1
+
+
+class UdpTransport(DatagramTransport):
+    """Asyncio UDP endpoint on ``host:port`` (port 0 = ephemeral).
+
+    The bound address (known after :meth:`start`) is the node's gossip
+    address; descriptors carrying it are routable by every other daemon.
+    Because that identity travels in every message, binding a wildcard
+    interface requires an explicit ``advertise_host`` -- advertising
+    ``0.0.0.0`` would poison every view it reaches with an unroutable
+    address.
+    """
+
+    _WILDCARDS = ("0.0.0.0", "::", "")
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        advertise_host: Optional[str] = None,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._advertise_host = advertise_host
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self.send_errors = 0
+
+    @property
+    def local_address(self) -> str:
+        if self._transport is None:
+            raise TransportError("transport not started")
+        return format_address(self._host, self._port)
+
+    async def start(self) -> None:
+        if self._transport is not None:
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda: _UdpProtocol(self),
+                local_addr=(self._host, self._port),
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot bind UDP {self._host}:{self._port}: {exc}"
+            ) from exc
+        self._transport = transport
+        sockname = transport.get_extra_info("sockname")
+        self._host, self._port = sockname[0], sockname[1]
+        if self._advertise_host is not None:
+            self._host = self._advertise_host
+        elif self._host in self._WILDCARDS:
+            transport.close()
+            self._transport = None
+            raise TransportError(
+                f"bound to wildcard {sockname[0]!r}: peers could never "
+                "route to it; bind a concrete interface or pass "
+                "advertise_host"
+            )
+
+    def send(self, destination: Address, data: bytes) -> None:
+        if self._transport is None or self._transport.is_closing():
+            return
+        try:
+            self._transport.sendto(data, parse_address(destination))
+        except (OSError, TransportError):
+            self.send_errors += 1
+
+    async def close(self) -> None:
+        if self._transport is None:
+            return
+        self._transport.close()
+        self._transport = None
+        # Give the loop one turn to run the close callbacks.
+        await asyncio.sleep(0)
+
+
+class LoopbackNetwork:
+    """Shared in-process medium connecting :class:`LoopbackTransport` ends.
+
+    Delivery happens through the running event loop (``call_soon`` without
+    a latency model, ``call_later`` with one), so ordering is the loop's
+    deterministic FIFO and a seeded RNG makes every run reproducible.  The
+    latency/loss models are the very classes the event-driven simulator
+    uses -- one network-assumption vocabulary across simulation and
+    deployment testing.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if time_scale < 0:
+            raise ConfigurationError(
+                f"time_scale must be >= 0, got {time_scale}"
+            )
+        self.rng = rng if rng is not None else random.Random()
+        self.latency = latency
+        self.loss = loss
+        self.time_scale = time_scale
+        """Seconds per simulated latency unit (0 = deliver via call_soon)."""
+        self._endpoints: Dict[Address, "LoopbackTransport"] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.unroutable = 0
+
+    def register(self, endpoint: "LoopbackTransport") -> None:
+        address = endpoint.local_address
+        if address in self._endpoints:
+            raise ConfigurationError(
+                f"loopback address {address!r} already registered"
+            )
+        self._endpoints[address] = endpoint
+
+    def unregister(self, address: Address) -> None:
+        self._endpoints.pop(address, None)
+
+    def deliver(self, sender: Address, destination: Address, data: bytes) -> None:
+        """Route one datagram, applying the loss and latency models."""
+        if self.loss is not None and self.loss.drops(self.rng):
+            self.dropped += 1
+            return
+        delay = 0.0
+        if self.latency is not None:
+            delay = self.latency.sample(self.rng) * self.time_scale
+        loop = asyncio.get_running_loop()
+        if delay > 0:
+            loop.call_later(delay, self._arrive, sender, destination, data)
+        else:
+            loop.call_soon(self._arrive, sender, destination, data)
+
+    def _arrive(self, sender: Address, destination: Address, data: bytes) -> None:
+        endpoint = self._endpoints.get(destination)
+        if endpoint is None:
+            # Crashed or never-existing node: the datagram evaporates.
+            self.unroutable += 1
+            return
+        receiver = endpoint.receiver
+        if receiver is not None:
+            self.delivered += 1
+            receiver(data, sender)
+
+
+class LoopbackTransport(DatagramTransport):
+    """One endpoint of a :class:`LoopbackNetwork` (any hashable address)."""
+
+    def __init__(self, network: LoopbackNetwork, address: Address) -> None:
+        self._network = network
+        self._address = address
+        self._open = False
+
+    @property
+    def local_address(self) -> Address:
+        return self._address
+
+    def open(self) -> None:
+        """Synchronous registration (needs no running loop)."""
+        if not self._open:
+            self._network.register(self)
+            self._open = True
+
+    def close_now(self) -> None:
+        """Synchronous deregistration (needs no running loop)."""
+        if self._open:
+            self._network.unregister(self._address)
+            self._open = False
+
+    async def start(self) -> None:
+        self.open()
+
+    def send(self, destination: Address, data: bytes) -> None:
+        if self._open:
+            self._network.deliver(self._address, destination, data)
+
+    async def close(self) -> None:
+        self.close_now()

@@ -51,6 +51,7 @@ DISABLE_ENV_VAR = "REPRO_NO_ACCEL"
 """Set (to any non-empty value) to force the pure-Python engine path."""
 
 _SOURCE = r"""
+#include <math.h>
 #include <stdint.h>
 #include <stdlib.h>
 #include <string.h>
@@ -267,6 +268,67 @@ static void merge_into(int64_t t, const int64_t *rids, const int64_t *rhops,
     g_vlen[row] = m;
 }
 
+/* Random-bootstrap all views: node i (address == id == 0..n-1) receives
+   the first `fill` values != i of Random.sample(range(n), k).  Replicates
+   CPython's sample() draw-for-draw -- both the pool algorithm (small n)
+   and the selection-set algorithm with its rejection loop (large n),
+   including the floating-point setsize cutoff -- so the RNG stream stays
+   byte-identical with the reference engine's bootstrap.  rstate as in
+   fc_run_cycle. */
+void fc_bootstrap(int64_t n, int64_t k, int64_t fill, int64_t *rstate) {
+    int64_t i, j, t, w;
+    int64_t setsize = 21;
+    int64_t *chosen = malloc((size_t)k * sizeof(int64_t));
+    int64_t *pool = NULL;
+    unsigned char *sel = NULL;
+    for (t = 0; t < MT_N; t++) g_mt[t] = (uint32_t)rstate[t];
+    g_mti = (int)rstate[MT_N];
+    if (k > 5) {
+        /* random.py: setsize += 4 ** ceil(log(k * 3, 4)) */
+        setsize += (int64_t)pow(4.0,
+                                ceil(log((double)(k * 3)) / log(4.0)));
+    }
+    if (n <= setsize) {
+        pool = malloc((size_t)n * sizeof(int64_t));
+    } else {
+        sel = calloc((size_t)n, 1);
+    }
+    for (i = 0; i < n; i++) {
+        int64_t row = g_rowof[i], base = row * g_c;
+        if (pool) {
+            for (t = 0; t < n; t++) pool[t] = t;
+            for (t = 0; t < k; t++) {
+                j = randbelow(n - t);
+                chosen[t] = pool[j];
+                pool[j] = pool[n - t - 1];
+            }
+        } else {
+            for (t = 0; t < k; t++) {
+                j = randbelow(n);
+                while (sel[j]) j = randbelow(n);
+                sel[j] = 1;
+                chosen[t] = j;
+            }
+            for (t = 0; t < k; t++) sel[chosen[t]] = 0;
+        }
+        w = 0;
+        for (t = 0; t < k; t++) {
+            if (chosen[t] != i) {
+                if (w == fill) break;
+                g_vids[base + w] = chosen[t];
+                g_vhops[base + w] = 0;
+                w++;
+            }
+        }
+        g_vlen[row] = w;
+    }
+    free(chosen);
+    free(pool);
+    free(sel);
+    for (t = 0; t < MT_N; t++) rstate[t] = (int64_t)g_mt[t];
+    rstate[MT_N] = g_mti;
+}
+
 /* One full cycle.  order: live ids in insertion order (shuffled in place
    when enabled); rstate: the 625-word Mersenne Twister state from
    Random.getstate(), mutated in place; out: {completed, failed}. */
@@ -356,8 +418,13 @@ class Accelerator:
             _I64P, ctypes.c_int64, _I64P, _I64P,
         ]
         lib.fc_run_cycle.restype = None
+        lib.fc_bootstrap.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64P,
+        ]
+        lib.fc_bootstrap.restype = None
         self.setup = lib.fc_setup
         self.run_cycle = lib.fc_run_cycle
+        self.bootstrap = lib.fc_bootstrap
 
     @staticmethod
     def pointer(buffer_address: int) -> "ctypes.POINTER(ctypes.c_int64)":
@@ -421,7 +488,7 @@ def _build() -> Optional[str]:
             handle.write(_SOURCE)
         so_tmp = f"{target}.{os.getpid()}.tmp"
         result = subprocess.run(
-            [compiler, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_path],
+            [compiler, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_path, "-lm"],
             capture_output=True,
         )
         if result.returncode != 0:

@@ -531,6 +531,93 @@ class FastCycleEngine(BaseEngine):
             self._kill(self._id_of[victim])
         return victims
 
+    # -- bulk bootstrap ----------------------------------------------------
+
+    def bootstrap_random_views(
+        self, addresses: List[Address], view_fill: Optional[int] = None
+    ) -> bool:
+        """Fill every view with a random sample, entirely in index space.
+
+        The flat-array fast path behind
+        :func:`~repro.simulation.scenarios.random_bootstrap`: no
+        ``NodeDescriptor`` objects, no per-entry merge -- and with the C
+        core, no interpreted sampling loop at all.  Consumes the RNG
+        *exactly* like the generic path (the same ``sample()`` draws in
+        the same order), so overlays stay byte-identical across engines
+        for the same seed; the differential suite pins this.
+
+        Returns ``False`` -- leaving all state untouched -- when the
+        engine is not a freshly auto-addressed population of exactly
+        ``addresses`` (the only case worth specializing); the caller then
+        falls back to the generic path.
+        """
+        n = len(addresses)
+        if (
+            len(self._live) != n
+            or len(self._addr_of) != n
+            or self._free_rows
+            or self._addr_of != list(range(n))
+            or addresses != self._addr_of
+        ):
+            return False
+        c = self.config.view_size
+        fill = c if view_fill is None else view_fill
+        fill = min(fill, n - 1, c)
+        if fill <= 0:
+            return True  # single node / zero fill: every view stays empty
+        rng = self.rng
+        k = fill + 1
+        if self._accel is not None and type(rng) is random.Random:
+            self._bootstrap_c(self._accel, n, k, fill)
+            return True
+        vids = self._vids
+        vhops = self._vhops
+        vlen = self._vlen
+        row_of = self._row_of
+        sample = rng.sample
+        zeros = array("q", bytes(8 * fill))
+        for i in range(n):
+            others = sample(addresses, k)
+            row = row_of[i]
+            base = row * c
+            w = 0
+            for peer in others:
+                if peer != i:
+                    if w == fill:
+                        break
+                    vids[base + w] = peer
+                    w += 1
+            vhops[base : base + fill] = zeros
+            vlen[row] = w
+        return True
+
+    def _bootstrap_c(self, accel: Accelerator, n: int, k: int, fill: int) -> None:
+        """Run ``fc_bootstrap`` (bit-exact ``sample()`` draws in C)."""
+        config = self.config
+        rng = self.rng
+        state_before = rng.getstate()
+        state = array("q", state_before[1])
+        pointer = Accelerator.pointer
+        accel.setup(
+            pointer(self._vids.buffer_info()[0]),
+            pointer(self._vhops.buffer_info()[0]),
+            pointer(self._vlen.buffer_info()[0]),
+            pointer(self._row_of.buffer_info()[0]),
+            Accelerator.byte_pointer(self._alive.buffer_info()[0]),
+            config.view_size,
+            config.healer,
+            config.swapper,
+            int(config.keep_self_descriptors),
+            int(config.push),
+            int(config.pull),
+            _POLICY_CODE[config.peer_selection.value],
+            _POLICY_CODE[config.view_selection.value],
+            int(self.omniscient_peer_selection),
+            int(self.shuffle_each_cycle),
+        )
+        accel.bootstrap(n, k, fill, pointer(state.buffer_info()[0]))
+        rng.setstate((state_before[0], tuple(state), state_before[2]))
+
     # -- introspection ----------------------------------------------------
 
     def views(self) -> Dict[Address, Sequence[NodeDescriptor]]:

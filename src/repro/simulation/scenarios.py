@@ -37,6 +37,13 @@ def random_bootstrap(
     if n_nodes < 1:
         raise ConfigurationError(f"need at least 1 node, got {n_nodes}")
     addresses = engine.add_nodes(n_nodes)
+    # Engines with flat-array storage can fill all views without building
+    # descriptor objects, consuming the RNG identically (same draws, same
+    # order), so results stay byte-identical across engines.  The hook
+    # declines (returns False) whenever the generic path must run.
+    bulk_fill = getattr(engine, "bootstrap_random_views", None)
+    if bulk_fill is not None and bulk_fill(addresses, view_fill):
+        return addresses
     for address in addresses:
         node = engine.node(address)
         fill = view_fill if view_fill is not None else node.view.capacity

@@ -7,9 +7,14 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.codec import (
+    MAX_MESSAGE_BYTES,
+    SUPPORTED_WIRE_VERSIONS,
+    V2_MAGIC,
+    WIRE_FORMAT_V2,
     WIRE_FORMAT_VERSION,
     CodecError,
     decode_descriptor,
+    decode_frame,
     decode_message,
     encode_descriptor,
     encode_message,
@@ -85,21 +90,120 @@ class TestMessageCodec:
         assert view[0].hop_count == 1
 
 
+class TestBinaryCodec:
+    def test_round_trip(self):
+        view = [NodeDescriptor("10.0.0.1:9000", 0), NodeDescriptor(7, 3)]
+        data = encode_message(view, version=WIRE_FORMAT_V2)
+        assert decode_message(data) == view
+
+    def test_magic_byte_leads_the_frame(self):
+        data = encode_message([], version=WIRE_FORMAT_V2)
+        assert data[0] == V2_MAGIC
+        assert data[1] == WIRE_FORMAT_V2
+
+    def test_binary_is_smaller_than_json(self):
+        view = [NodeDescriptor(f"192.168.0.{i}:90{i:02d}", i) for i in range(30)]
+        v1 = encode_message(view, version=WIRE_FORMAT_VERSION)
+        v2 = encode_message(view, version=WIRE_FORMAT_V2)
+        assert len(v2) < len(v1)
+
+    def test_decode_frame_reports_version(self):
+        view = [NodeDescriptor("a", 1)]
+        assert decode_frame(encode_message(view))[0] == WIRE_FORMAT_VERSION
+        assert (
+            decode_frame(encode_message(view, version=WIRE_FORMAT_V2))[0]
+            == WIRE_FORMAT_V2
+        )
+
+    def test_unknown_encode_version_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message([], version=3)
+
+    def test_truncated_frames_rejected(self):
+        view = [NodeDescriptor("node-1", 5), NodeDescriptor(42, 0)]
+        data = encode_message(view, version=WIRE_FORMAT_V2)
+        for cut in range(1, len(data)):
+            with pytest.raises(CodecError):
+                decode_message(data[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        data = encode_message([NodeDescriptor(1, 1)], version=WIRE_FORMAT_V2)
+        with pytest.raises(CodecError):
+            decode_message(data + b"\x00")
+
+    def test_unknown_address_tag_rejected(self):
+        data = bytearray(
+            encode_message([NodeDescriptor(1, 1)], version=WIRE_FORMAT_V2)
+        )
+        data[4] = 99  # the entry's tag byte
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_unsupported_binary_version_rejected(self):
+        data = bytearray(encode_message([], version=WIRE_FORMAT_V2))
+        data[1] = 9
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_huge_int_address_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message(
+                [NodeDescriptor(1 << 70, 0)], version=WIRE_FORMAT_V2
+            )
+
+    def test_huge_hop_count_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message(
+                [NodeDescriptor("a", 1 << 32)], version=WIRE_FORMAT_V2
+            )
+
+
+class TestEncodeSizeCap:
+    def test_oversized_v1_rejected_on_encode(self):
+        view = [NodeDescriptor("x" * (MAX_MESSAGE_BYTES + 1), 0)]
+        with pytest.raises(CodecError):
+            encode_message(view)
+
+    def test_oversized_v2_rejected_on_encode(self):
+        # Each entry stays under the per-address limit; the total does not.
+        view = [NodeDescriptor(f"{i:05d}" + "x" * 40, 0) for i in range(30_000)]
+        with pytest.raises(CodecError):
+            encode_message(view, version=WIRE_FORMAT_V2)
+
+
 addresses_st = st.one_of(
     st.integers(min_value=-(2**40), max_value=2**40),
     st.text(min_size=0, max_size=30),
 )
 
-
-@given(
-    st.lists(
-        st.builds(
-            NodeDescriptor,
-            addresses_st,
-            st.integers(min_value=0, max_value=10_000),
-        ),
-        max_size=50,
-    )
+views_st = st.lists(
+    st.builds(
+        NodeDescriptor,
+        addresses_st,
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=50,
 )
+
+
+@given(views_st)
 def test_message_round_trip_property(view):
     assert decode_message(encode_message(view)) == view
+
+
+@given(views_st, st.sampled_from(SUPPORTED_WIRE_VERSIONS))
+def test_round_trip_property_all_versions(view, version):
+    data = encode_message(view, version=version)
+    decoded_version, decoded = decode_frame(data)
+    assert decoded_version == version
+    assert decoded == view
+
+
+@given(st.binary(max_size=300))
+def test_arbitrary_bytes_never_raise_non_codec_errors(data):
+    # Malformed input of any shape -- bad UTF-8, bad JSON, bad struct
+    # fields -- must surface as CodecError, nothing else.
+    try:
+        decode_frame(data)
+    except CodecError:
+        pass

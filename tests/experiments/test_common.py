@@ -16,6 +16,7 @@ from repro.experiments.common import (
     push_protocols,
     studied_protocols,
 )
+from repro.net.engine import LiveEngine
 from repro.simulation.engine import CycleEngine
 from repro.simulation.fast import FastCycleEngine
 
@@ -106,7 +107,11 @@ class TestConvergedEngine:
 
 class TestEngineSelection:
     def test_registry_contents(self):
-        assert ENGINES == {"cycle": CycleEngine, "fast": FastCycleEngine}
+        assert ENGINES == {
+            "cycle": CycleEngine,
+            "fast": FastCycleEngine,
+            "live": LiveEngine,
+        }
 
     def test_default_is_cycle(self, monkeypatch):
         monkeypatch.delenv("REPRO_ENGINE", raising=False)
@@ -122,6 +127,31 @@ class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ConfigurationError):
             engine_class("warp")
+
+    def test_scale_default_engine(self, monkeypatch):
+        # The heavy `full` preset runs the array-backed engine out of the
+        # box; the scaled-down presets keep the reference engine.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert SCALES["full"].default_engine == "fast"
+        assert SCALES["quick"].default_engine == "cycle"
+        assert SCALES["default"].default_engine == "cycle"
+        assert engine_class(default="fast") is FastCycleEngine
+        assert engine_class(default=None) is CycleEngine
+
+    def test_explicit_name_beats_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert engine_class("cycle", default="fast") is CycleEngine
+
+    def test_env_var_beats_scale_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "cycle")
+        assert engine_class(default="fast") is CycleEngine
+
+    def test_make_engine_honors_scale_default(self, monkeypatch):
+        from repro.core.config import newscast
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        engine = make_engine(newscast(6), seed=1, scale=SCALES["full"])
+        assert isinstance(engine, FastCycleEngine)
 
     def test_make_engine_builds_selected_class(self):
         from repro.core.config import newscast

@@ -1,0 +1,220 @@
+"""End-to-end cluster tests: loopback determinism, UDP integration, churn.
+
+The UDP tests bind real localhost sockets.  Every test carries a hard
+``timeout`` marker (enforced by ``pytest-timeout`` in CI) *and* wraps its
+asyncio session in ``wait_for``, so a hung daemon fails the test quickly
+instead of stalling the whole workflow.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import NetworkConfig, newscast
+from repro.net.cluster import LocalCluster, in_degrees, summarize_views
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import random_bootstrap
+
+SESSION_DEADLINE = 60.0  # belt-and-braces in-test hard timeout, seconds
+LOCKSTEP = NetworkConfig(cycle_seconds=0.01, jitter=0.0, request_timeout=2.0)
+# Post-churn rounds hit the pull timeout whenever a dead peer is selected
+# (no omniscient liveness in a real deployment); a short timeout keeps
+# those rounds cheap.
+CHURNY = NetworkConfig(cycle_seconds=0.01, jitter=0.0, request_timeout=0.2)
+
+
+def run_session(coroutine):
+    """Run one async cluster session under a hard deadline."""
+    return asyncio.run(asyncio.wait_for(coroutine, SESSION_DEADLINE))
+
+
+def cluster_views(protocol, n_nodes, cycles, transport, seed):
+    async def session():
+        cluster = LocalCluster(
+            protocol,
+            n_nodes,
+            network=LOCKSTEP,
+            transport=transport,
+            seed=seed,
+        )
+        await cluster.start(free_running=False)
+        try:
+            await cluster.run_cycles(cycles)
+            return cluster.views(), cluster.stats_total()
+        finally:
+            await cluster.stop()
+
+    return run_session(session())
+
+
+class TestInDegrees:
+    def test_counts_incoming_descriptors(self):
+        views = {
+            "a": [type("D", (), {"address": "b"})()],
+            "b": [type("D", (), {"address": "a"})()],
+            "c": [type("D", (), {"address": "a"})()],
+        }
+        assert list(in_degrees(views)) == [2, 1, 0]
+
+    def test_dead_targets_ignored(self):
+        views = {"a": [type("D", (), {"address": "ghost"})()]}
+        assert list(in_degrees(views)) == [0]
+
+
+@pytest.mark.timeout(90)
+class TestLoopbackCluster:
+    def test_seed_reproducible(self):
+        first, _ = cluster_views(newscast(10), 30, 15, "loopback", seed=5)
+        second, _ = cluster_views(newscast(10), 30, 15, "loopback", seed=5)
+        fingerprint = lambda views: {
+            a: tuple((d.address, d.hop_count) for d in entries)
+            for a, entries in views.items()
+        }
+        assert fingerprint(first) == fingerprint(second)
+
+    def test_50_node_cluster_matches_simulator_statistics(self):
+        # The ISSUE's acceptance pin: a 50-node live cluster over the
+        # deterministic loopback transport converges to the same
+        # in-degree summary statistics as a CycleEngine run of the same
+        # experiment, within tolerance.  (Exact per-view equality is
+        # pinned separately by the LiveEngine parity tests; here rounds
+        # run concurrently, like real traffic.)
+        protocol = newscast(view_size=15)
+        views, stats = cluster_views(protocol, 50, 30, "loopback", seed=1)
+        live = summarize_views(views)
+
+        reference = CycleEngine(protocol, seed=1)
+        random_bootstrap(reference, 50)
+        reference.run(30)
+        sim = summarize_views(reference.views())
+
+        # Converged overlays: every view is full, so the mean in-degree
+        # equals the view capacity in both worlds, exactly.
+        assert live["in_degree_mean"] == pytest.approx(15.0)
+        assert sim["in_degree_mean"] == pytest.approx(15.0)
+        assert abs(live["in_degree_std"] - sim["in_degree_std"]) < 4.0
+        assert 0.4 < live["in_degree_std"] / sim["in_degree_std"] < 1.6
+        assert abs(live["clustering"] - sim["clustering"]) < 0.15
+        assert (
+            abs(live["average_path_length"] - sim["average_path_length"])
+            < 0.15
+        )
+        # Every node gossiped every cycle, reliably: 50 * 30 exchanges.
+        assert stats["exchanges_completed"] == 50 * 30
+        assert stats["timeouts"] == 0
+        assert stats["invalid_messages"] == 0
+
+    def test_churn_heals(self):
+        async def session():
+            cluster = LocalCluster(
+                newscast(10), 30, network=CHURNY,
+                transport="loopback", seed=3,
+            )
+            await cluster.start(free_running=False)
+            try:
+                await cluster.run_cycles(10)
+                victims = await cluster.crash_random(10)
+                dead_refs_before = sum(
+                    1
+                    for entries in cluster.views().values()
+                    for d in entries
+                    if d.address in set(victims)
+                )
+                await cluster.run_cycles(20)
+                dead_refs_after = sum(
+                    1
+                    for entries in cluster.views().values()
+                    for d in entries
+                    if d.address in set(victims)
+                )
+                return len(cluster), dead_refs_before, dead_refs_after
+            finally:
+                await cluster.stop()
+
+        size, before, after = run_session(session())
+        assert size == 20
+        assert before > 0
+        # Self-healing (Figure 7 live): stale descriptors age out.
+        assert after < before / 4
+
+    def test_spawned_joiner_integrates(self):
+        async def session():
+            cluster = LocalCluster(
+                newscast(10), 20, network=LOCKSTEP,
+                transport="loopback", seed=4,
+            )
+            await cluster.start(free_running=False)
+            try:
+                await cluster.run_cycles(5)
+                joiner = await cluster.spawn()
+                await cluster.run_cycles(10)
+                degrees = dict(
+                    zip(cluster.views(), in_degrees(cluster.views()))
+                )
+                return joiner, degrees
+            finally:
+                await cluster.stop()
+
+        joiner, degrees = run_session(session())
+        # The joiner became visible in other views.
+        assert degrees[joiner] > 0
+
+
+@pytest.mark.timeout(120)
+class TestUdpCluster:
+    def test_20_node_udp_cluster_converges_and_shuts_down(self):
+        protocol = newscast(view_size=10)
+        views, stats = cluster_views(protocol, 20, 10, "udp", seed=2)
+        summary = summarize_views(views)
+        assert summary["nodes"] == 20
+        # Converged: all views full over real sockets, no message issues.
+        assert summary["in_degree_mean"] == pytest.approx(10.0)
+        assert stats["exchanges_completed"] == 20 * 10
+        assert stats["invalid_messages"] == 0
+
+    def test_free_running_udp_cluster(self):
+        async def session():
+            cluster = LocalCluster(
+                newscast(8),
+                10,
+                network=NetworkConfig(
+                    cycle_seconds=0.05, jitter=0.2, request_timeout=1.0
+                ),
+                transport="udp",
+                seed=6,
+            )
+            await cluster.start(free_running=True)
+            try:
+                await cluster.run_for(0.6)
+                return cluster.stats_total(), cluster.summary()
+            finally:
+                await cluster.stop()
+
+        stats, summary = run_session(session())
+        # Jittered wall-clock gossip actually happened on every daemon.
+        assert stats["cycles"] >= 10
+        assert stats["exchanges_completed"] >= 10
+        assert summary["nodes"] == 10
+
+    def test_mixed_wire_versions_interoperate(self):
+        # Half the daemons prefer v1 JSON requests; responders mirror the
+        # request version, so the overlay still converges.
+        async def session():
+            cluster = LocalCluster(
+                newscast(8), 12, network=LOCKSTEP,
+                transport="udp", seed=8,
+            )
+            await cluster.start(free_running=False)
+            try:
+                for i, daemon in enumerate(cluster.daemons.values()):
+                    if i % 2 == 0:
+                        daemon.network = daemon.network.replace(wire_version=1)
+                await cluster.run_cycles(8)
+                return cluster.stats_total(), summarize_views(cluster.views())
+            finally:
+                await cluster.stop()
+
+        stats, summary = run_session(session())
+        assert stats["invalid_messages"] == 0
+        assert stats["exchanges_completed"] == 12 * 8
+        assert summary["in_degree_mean"] == pytest.approx(8.0)

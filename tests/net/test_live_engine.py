@@ -1,0 +1,166 @@
+"""The ``live`` engine: the cycle model executed over the wire stack.
+
+The headline pin: a LiveEngine run -- where every exchange is encoded to
+codec-v2 bytes, shipped through the loopback datagram transport on an
+asyncio loop, decoded and merged by a daemon -- is **byte-identical** to a
+CycleEngine run with the same seed.  Any defect in the codec, the
+envelope, the transport routing or the daemon's correlation logic would
+break the equality.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, newscast
+from repro.core.errors import ConfigurationError
+from repro.experiments.common import make_engine
+from repro.net.engine import LiveEngine
+from repro.simulation.engine import CycleEngine
+from repro.simulation.scenarios import random_bootstrap, start_growing
+
+PROTOCOLS = [
+    "(rand,head,pushpull)",
+    "(rand,rand,pushpull)",
+    "(tail,rand,push)",
+    "(rand,rand,push)",
+]
+
+
+def fingerprint(engine):
+    return {
+        address: tuple((d.address, d.hop_count) for d in entries)
+        for address, entries in engine.views().items()
+    }
+
+
+class TestCycleEngineParity:
+    @pytest.mark.parametrize("label", PROTOCOLS)
+    def test_byte_identical_views_and_rng(self, label):
+        config = ProtocolConfig.from_label(label, 8)
+        live = LiveEngine(config, seed=11)
+        reference = CycleEngine(config, seed=11)
+        try:
+            random_bootstrap(live, 50)
+            random_bootstrap(reference, 50)
+            live.run(15)
+            reference.run(15)
+            assert fingerprint(live) == fingerprint(reference)
+            assert live.rng.getstate() == reference.rng.getstate()
+            assert live.completed_exchanges == reference.completed_exchanges
+            assert live.failed_exchanges == reference.failed_exchanges
+        finally:
+            live.close()
+
+    def test_parity_under_churn(self):
+        config = newscast(view_size=8)
+        live = LiveEngine(config, seed=5)
+        reference = CycleEngine(config, seed=5)
+        try:
+            random_bootstrap(live, 50)
+            random_bootstrap(reference, 50)
+            live.run(5)
+            reference.run(5)
+            assert live.crash_random_nodes(10) == reference.crash_random_nodes(10)
+            live.run(10)
+            reference.run(10)
+            assert fingerprint(live) == fingerprint(reference)
+            assert live.dead_link_count() == reference.dead_link_count()
+        finally:
+            live.close()
+
+    def test_parity_under_churn_without_omniscient_selection(self):
+        # Non-omniscient nodes target crashed peers and waste the turn;
+        # the failed/completed accounting must match the cycle engine's.
+        config = ProtocolConfig.from_label("(rand,rand,push)", 8)
+        live = LiveEngine(config, seed=3, omniscient_peer_selection=False)
+        reference = CycleEngine(
+            config, seed=3, omniscient_peer_selection=False
+        )
+        try:
+            random_bootstrap(live, 30)
+            random_bootstrap(reference, 30)
+            assert live.crash_random_nodes(10) == reference.crash_random_nodes(10)
+            live.run(5)
+            reference.run(5)
+            assert fingerprint(live) == fingerprint(reference)
+            assert live.completed_exchanges == reference.completed_exchanges
+            assert live.failed_exchanges == reference.failed_exchanges
+        finally:
+            live.close()
+
+    def test_parity_in_growing_scenario(self):
+        config = newscast(view_size=6)
+        live = LiveEngine(config, seed=3)
+        reference = CycleEngine(config, seed=3)
+        try:
+            start_growing(live, target_size=60, nodes_per_cycle=20)
+            start_growing(reference, target_size=60, nodes_per_cycle=20)
+            live.run(12)
+            reference.run(12)
+            assert fingerprint(live) == fingerprint(reference)
+        finally:
+            live.close()
+
+    def test_seed_reproducible(self):
+        results = []
+        for _ in range(2):
+            engine = LiveEngine(newscast(view_size=8), seed=21)
+            try:
+                random_bootstrap(engine, 30)
+                engine.run(10)
+                results.append(fingerprint(engine))
+            finally:
+                engine.close()
+        assert results[0] == results[1]
+
+
+class TestEngineContract:
+    def test_registered_in_engine_registry(self):
+        engine = make_engine(newscast(6), seed=1, engine="live")
+        assert isinstance(engine, LiveEngine)
+        engine.close()
+
+    def test_rejects_custom_node_factory(self):
+        with pytest.raises(ConfigurationError):
+            LiveEngine(node_factory=lambda address, rng: None)
+
+    def test_service_shares_the_daemon_lock(self):
+        engine = LiveEngine(newscast(6), seed=1)
+        try:
+            random_bootstrap(engine, 10)
+            address = engine.addresses()[0]
+            service = engine.service(address)
+            assert service is engine.daemon(address).service
+            assert service.get_peer() in engine.addresses()
+        finally:
+            engine.close()
+
+    def test_removed_node_tears_its_endpoint_down(self):
+        engine = LiveEngine(newscast(6), seed=1)
+        try:
+            random_bootstrap(engine, 10)
+            victim = engine.addresses()[0]
+            engine.remove_node(victim)
+            assert victim not in engine
+            assert victim not in engine._daemons
+            engine.run(3)  # survivors keep gossiping over the wire
+            assert engine.cycle == 3
+        finally:
+            engine.close()
+
+    def test_wire_traffic_actually_flows(self):
+        # The loopback network's counters prove exchanges crossed the
+        # transport rather than being passed by reference.
+        engine = LiveEngine(newscast(6), seed=1)
+        try:
+            random_bootstrap(engine, 20)
+            engine.run(5)
+            # pushpull: one request + one reply per completed exchange,
+            # every one of them a routed loopback datagram.
+            total_messages = sum(
+                d.stats.requests_received + d.stats.replies_received
+                for d in engine._daemons.values()
+            )
+            assert total_messages == 2 * engine.completed_exchanges
+            assert engine._network.delivered == total_messages
+        finally:
+            engine.close()

@@ -1,0 +1,203 @@
+"""Unit tests for the datagram transports."""
+
+import asyncio
+
+import pytest
+
+from repro.net.transport import (
+    LoopbackNetwork,
+    LoopbackTransport,
+    TransportError,
+    UdpTransport,
+    format_address,
+    parse_address,
+)
+from repro.simulation.network import BernoulliLoss, ConstantLatency
+
+
+class TestAddresses:
+    def test_round_trip(self):
+        assert parse_address(format_address("127.0.0.1", 9000)) == (
+            "127.0.0.1",
+            9000,
+        )
+
+    @pytest.mark.parametrize(
+        "bad", ["localhost", "1.2.3.4:", "1.2.3.4:nope", "1.2.3.4:0", 42, None]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TransportError):
+            parse_address(bad)
+
+
+class TestLoopback:
+    def test_delivery_and_sender_address(self):
+        async def scenario():
+            network = LoopbackNetwork()
+            a = LoopbackTransport(network, "a")
+            b = LoopbackTransport(network, "b")
+            received = []
+            b.receiver = lambda data, sender: received.append((data, sender))
+            await a.start()
+            await b.start()
+            a.send("b", b"hello")
+            await asyncio.sleep(0)
+            return received, network.delivered == 0  # delivered counts...
+
+        received, _ = asyncio.run(scenario())
+        assert received == [(b"hello", "a")]
+
+    def test_unregistered_destination_is_lost(self):
+        async def scenario():
+            network = LoopbackNetwork()
+            a = LoopbackTransport(network, "a")
+            await a.start()
+            a.send("ghost", b"x")
+            await asyncio.sleep(0)
+            return network.unroutable
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_closed_endpoint_stops_receiving(self):
+        async def scenario():
+            network = LoopbackNetwork()
+            a = LoopbackTransport(network, "a")
+            b = LoopbackTransport(network, "b")
+            received = []
+            b.receiver = lambda data, sender: received.append(data)
+            await a.start()
+            await b.start()
+            await b.close()
+            a.send("b", b"x")
+            await asyncio.sleep(0)
+            return received, network.unroutable
+
+        received, unroutable = asyncio.run(scenario())
+        assert received == []
+        assert unroutable == 1
+
+    def test_loss_model_drops(self):
+        async def scenario():
+            import random
+
+            network = LoopbackNetwork(
+                rng=random.Random(1), loss=BernoulliLoss(1.0)
+            )
+            a = LoopbackTransport(network, "a")
+            b = LoopbackTransport(network, "b")
+            received = []
+            b.receiver = lambda data, sender: received.append(data)
+            await a.start()
+            await b.start()
+            a.send("b", b"x")
+            await asyncio.sleep(0)
+            return received, network.dropped
+
+        received, dropped = asyncio.run(scenario())
+        assert received == []
+        assert dropped == 1
+
+    def test_latency_model_delays(self):
+        async def scenario():
+            import random
+
+            network = LoopbackNetwork(
+                rng=random.Random(1),
+                latency=ConstantLatency(0.02),
+                time_scale=1.0,
+            )
+            a = LoopbackTransport(network, "a")
+            b = LoopbackTransport(network, "b")
+            received = []
+            b.receiver = lambda data, sender: received.append(data)
+            await a.start()
+            await b.start()
+            a.send("b", b"x")
+            await asyncio.sleep(0)
+            immediately = list(received)
+            await asyncio.sleep(0.05)
+            return immediately, received
+
+        immediately, eventually = asyncio.run(scenario())
+        assert immediately == []
+        assert eventually == [b"x"]
+
+    def test_duplicate_address_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        network = LoopbackNetwork()
+        first = LoopbackTransport(network, "a")
+        second = LoopbackTransport(network, "a")
+        first.open()
+        with pytest.raises(ConfigurationError):
+            second.open()
+
+
+class TestUdp:
+    def test_round_trip_and_sender_address(self):
+        async def scenario():
+            a = UdpTransport("127.0.0.1", 0)
+            b = UdpTransport("127.0.0.1", 0)
+            await a.start()
+            await b.start()
+            received = asyncio.get_running_loop().create_future()
+            b.receiver = lambda data, sender: (
+                received.done() or received.set_result((data, sender))
+            )
+            a_address = a.local_address
+            a.send(b.local_address, b"ping")
+            data, sender = await asyncio.wait_for(received, 5.0)
+            await a.close()
+            await b.close()
+            return data, sender, a_address
+
+        data, sender, a_address = asyncio.run(scenario())
+        assert data == b"ping"
+        # The datagram's source address is the sender's bound (= gossip)
+        # address: descriptors built from it are routable.
+        assert sender == a_address
+
+    def test_ephemeral_ports_are_distinct(self):
+        async def scenario():
+            transports = [UdpTransport("127.0.0.1", 0) for _ in range(5)]
+            for transport in transports:
+                await transport.start()
+            addresses = [t.local_address for t in transports]
+            for transport in transports:
+                await transport.close()
+            return addresses
+
+        addresses = asyncio.run(scenario())
+        assert len(set(addresses)) == 5
+
+    def test_send_to_malformed_address_counts_error(self):
+        async def scenario():
+            a = UdpTransport("127.0.0.1", 0)
+            await a.start()
+            a.send("not-an-address", b"x")
+            errors = a.send_errors
+            await a.close()
+            return errors
+
+        assert asyncio.run(scenario()) == 1
+
+    def test_local_address_requires_start(self):
+        transport = UdpTransport("127.0.0.1", 0)
+        with pytest.raises(TransportError):
+            transport.local_address
+
+    def test_wildcard_bind_requires_advertise_host(self):
+        # '0.0.0.0:port' as a gossip identity would poison every view it
+        # reaches (peers cannot route to it).
+        async def scenario():
+            transport = UdpTransport("0.0.0.0", 0)
+            with pytest.raises(TransportError):
+                await transport.start()
+            advertised = UdpTransport("0.0.0.0", 0, advertise_host="10.1.2.3")
+            await advertised.start()
+            address = advertised.local_address
+            await advertised.close()
+            return address
+
+        address = asyncio.run(scenario())
+        assert address.startswith("10.1.2.3:")
