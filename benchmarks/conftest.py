@@ -3,9 +3,13 @@
 Every paper-artefact benchmark regenerates its table/figure at the ambient
 scale (``REPRO_SCALE``, default ``quick``), prints the reproduced rows and
 stores them under ``benchmarks/out/`` so the run leaves inspectable
-artifacts behind.
+artifacts behind.  Machine-readable timings additionally land in
+``benchmarks/out/BENCH_<name>.json`` (see :func:`emit_json`) -- the CI
+benchmark smoke job uploads these, so the hot-path numbers are tracked
+per commit.
 """
 
+import json
 import os
 import pathlib
 
@@ -19,6 +23,19 @@ def emit_report(name: str, report: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(report + "\n")
     print(f"\n{report}\n")
+
+
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable benchmark results.
+
+    Writes ``benchmarks/out/BENCH_<name>.json`` -- the artifact the CI
+    benchmark job uploads, and the format regression-tracking tooling
+    consumes.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench json] {path}\n")
 
 
 @pytest.fixture(scope="session")

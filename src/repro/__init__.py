@@ -56,6 +56,7 @@ from repro.core.view import PartialView
 from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
+from repro.simulation.fast_event import FastEventEngine
 
 __version__ = "1.2.0"
 
@@ -65,6 +66,7 @@ __all__ = [
     "CycleEngine",
     "EventEngine",
     "FastCycleEngine",
+    "FastEventEngine",
     "GossipNode",
     "NodeDescriptor",
     "PartialView",

@@ -10,9 +10,10 @@ and the repetition count while keeping every qualitative conclusion intact
 from __future__ import annotations
 
 import dataclasses
+import math
 import os
 import random
-from typing import Dict, Optional, Tuple, Type
+from typing import Dict, Optional, Tuple, Type, Union
 
 from repro.core.config import ProtocolConfig
 from repro.core.errors import ConfigurationError
@@ -20,7 +21,15 @@ from repro.core.policies import PeerSelection, Propagation, ViewSelection
 from repro.net.engine import LiveEngine
 from repro.simulation.base import BaseEngine
 from repro.simulation.engine import CycleEngine
+from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
+from repro.simulation.fast_event import FastEventEngine
+from repro.simulation.network import (
+    BernoulliLoss,
+    ConstantLatency,
+    LatencyModel,
+    LossModel,
+)
 
 SCALE_ENV_VAR = "REPRO_SCALE"
 """Environment variable selecting the default scale preset."""
@@ -28,17 +37,33 @@ SCALE_ENV_VAR = "REPRO_SCALE"
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 """Environment variable selecting the default simulation engine."""
 
+LATENCY_ENV_VAR = "REPRO_LATENCY"
+"""Constant per-message latency (in gossip periods) for event engines."""
+
+LOSS_ENV_VAR = "REPRO_LOSS"
+"""Per-message Bernoulli loss probability for event engines."""
+
 
 ENGINES: Dict[str, Type[BaseEngine]] = {
     "cycle": CycleEngine,
     "fast": FastCycleEngine,
     "live": LiveEngine,
+    "event": EventEngine,
+    "fast-event": FastEventEngine,
 }
 """Engines selectable by name.  ``cycle`` is the object-per-node reference
 implementation; ``fast`` is the array-backed engine (byte-identical results
 given the same seed, far faster at scale); ``live`` executes every exchange
 over the in-process datagram transport of :mod:`repro.net` (byte-identical
-to ``cycle``, for small-N validation of the deployment layer)."""
+to ``cycle``, for small-N validation of the deployment layer); ``event``
+and ``fast-event`` run the asynchronous timer/latency/loss model --
+byte-identical to *each other* for the same seed, with ``fast-event``
+sustaining 10^4..10^5 nodes over the flat-array kernel.  The cycle family
+and the event family are statistically comparable but follow different
+execution models, so their overlays are not byte-equal across families."""
+
+EVENT_ENGINE_NAMES = frozenset({"event", "fast-event"})
+"""Registry names whose engines model per-message latency and loss."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -136,24 +161,98 @@ def current_scale(name: Optional[str] = None) -> Scale:
         ) from None
 
 
-def engine_class(
+def resolve_engine_name(
     name: Optional[str] = None, default: Optional[str] = None
-) -> Type[BaseEngine]:
+) -> str:
     """Resolve an engine name: explicit > ``$REPRO_ENGINE`` > ``default``.
 
-    ``default`` is how scale presets choose their engine (``full`` runs on
-    ``fast`` out of the box); it falls back to ``cycle``.  All engines
-    produce byte-identical results given the same seed, so the resolution
-    order only affects speed, never numbers.
+    Raises :class:`~repro.core.errors.ConfigurationError` -- listing the
+    full registry -- for names outside :data:`ENGINES`, so a bad
+    ``$REPRO_ENGINE`` fails eagerly instead of mid-experiment.
     """
     if name is None:
         name = os.environ.get(ENGINE_ENV_VAR) or default or "cycle"
-    try:
-        return ENGINES[name]
-    except KeyError:
+    if name not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        )
+    return name
+
+
+def engine_class(
+    name: Optional[str] = None, default: Optional[str] = None
+) -> Type[BaseEngine]:
+    """Resolve an engine class (see :func:`resolve_engine_name`).
+
+    ``default`` is how scale presets choose their engine (``full`` runs on
+    ``fast`` out of the box); it falls back to ``cycle``.  Engines of the
+    same family produce byte-identical results given the same seed, so
+    the resolution order only affects speed, never numbers.
+    """
+    return ENGINES[resolve_engine_name(name, default)]
+
+
+def _float_env(env_var: str) -> Optional[float]:
+    raw = os.environ.get(env_var)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"${env_var} must be a number, got {raw!r}"
         ) from None
+
+
+def _resolve_model(value, env_var, base, wrap, knob):
+    """Normalize a latency/loss knob to a model instance (or ``None``).
+
+    Accepts a ready-made model (any ``base`` instance), a finite number
+    (wrapped with ``wrap``, whose constructor enforces its own range), or
+    the ``env_var`` fallback; anything else is a
+    :class:`~repro.core.errors.ConfigurationError`, never a ``TypeError``
+    or a silent NaN from deep inside the model constructors.
+    """
+    if value is None:
+        value = _float_env(env_var)
+        if value is None:
+            return None
+    if isinstance(value, base):
+        return value
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{knob} must be a number or a {base.__name__}, got {value!r}"
+        ) from None
+    if math.isnan(number) or math.isinf(number):
+        # ConstantLatency's `delay < 0` check lets NaN slip through and
+        # every message would be scheduled at time NaN, never delivered.
+        raise ConfigurationError(
+            f"{knob} must be a finite number, got {number!r}"
+        )
+    return wrap(number)
+
+
+def resolve_message_models(
+    latency: Optional[Union[float, LatencyModel]] = None,
+    loss: Optional[Union[float, LossModel]] = None,
+) -> Tuple[Optional[LatencyModel], Optional[LossModel]]:
+    """Validate and resolve the latency/loss knobs (explicit or env).
+
+    This is the single validation point shared by :func:`make_engine` and
+    the runner's eager pre-flight check: numbers are range-checked by the
+    model constructors (``ConstantLatency`` rejects negatives,
+    ``BernoulliLoss`` rejects probabilities outside [0, 1]), NaN and
+    infinities are rejected here, and malformed environment values raise
+    with the variable name in the message.
+    """
+    return (
+        _resolve_model(
+            latency, LATENCY_ENV_VAR, LatencyModel, ConstantLatency, "latency"
+        ),
+        _resolve_model(loss, LOSS_ENV_VAR, LossModel, BernoulliLoss, "loss"),
+    )
 
 
 def make_engine(
@@ -162,6 +261,8 @@ def make_engine(
     engine: Optional[str] = None,
     rng: Optional[random.Random] = None,
     scale: Optional[Scale] = None,
+    latency: Optional[Union[float, LatencyModel]] = None,
+    loss: Optional[Union[float, LossModel]] = None,
     **kwargs: object,
 ) -> BaseEngine:
     """Instantiate the engine selected by ``engine`` / ``$REPRO_ENGINE``.
@@ -169,8 +270,41 @@ def make_engine(
     When a ``scale`` is given, its :attr:`Scale.default_engine` is the
     fallback -- the way every experiment module runs, so ``full``-scale
     invocations pick the array-backed engine automatically.
+
+    ``latency`` (constant per-message delay in gossip periods, or a
+    ready-made :class:`~repro.simulation.network.LatencyModel`) and
+    ``loss`` (per-message Bernoulli drop probability, or a
+    :class:`~repro.simulation.network.LossModel`) -- or their
+    environment fallbacks ``$REPRO_LATENCY`` / ``$REPRO_LOSS`` -- are
+    forwarded to the event-driven engines.  The cycle family has no
+    message timing model, so selecting them together with a cycle
+    engine is a configuration error, not a silent no-op.
     """
-    cls = engine_class(engine, default=scale.default_engine if scale else None)
+    name = resolve_engine_name(
+        engine, default=scale.default_engine if scale else None
+    )
+    latency_model, loss_model = resolve_message_models(latency, loss)
+    if latency_model is not None or loss_model is not None:
+        if name not in EVENT_ENGINE_NAMES:
+            knobs = ", ".join(
+                k
+                for k, v in (
+                    ("latency", latency_model),
+                    ("loss", loss_model),
+                )
+                if v is not None
+            )
+            raise ConfigurationError(
+                f"{knobs} only applies to event-driven engines "
+                f"({sorted(EVENT_ENGINE_NAMES)}); engine {name!r} runs the "
+                "synchronous cycle model without message timing -- pick "
+                "--engine event / fast-event or drop the option"
+            )
+        if latency_model is not None:
+            kwargs["latency"] = latency_model
+        if loss_model is not None:
+            kwargs["loss"] = loss_model
+    cls = ENGINES[name]
     return cls(config, seed=seed, rng=rng, **kwargs)  # type: ignore[call-arg]
 
 

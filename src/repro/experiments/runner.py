@@ -6,12 +6,18 @@ Usage::
     repro-experiments run table1 --scale quick
     repro-experiments run all --scale full --seed 7
     repro-experiments run figure7 --engine fast
+    repro-experiments run figure7 --engine fast-event --latency 0.1 --loss 0.01
     python -m repro.experiments.runner run figure7
 
 ``--scale`` overrides the ``REPRO_SCALE`` environment variable; ``full``
 is the paper's parameterization (hours on the reference ``cycle`` engine;
 pass ``--engine fast`` to run the array-backed engine instead -- same
-results for the same seed, far faster).
+results for the same seed, far faster).  ``--engine event`` /
+``--engine fast-event`` re-derive an artefact under the asynchronous
+execution model; only those engines accept ``--latency`` / ``--loss``
+(constant per-message delay in gossip periods, Bernoulli drop
+probability), and the selection -- including ``$REPRO_ENGINE`` -- is
+validated eagerly before any experiment starts.
 """
 
 from __future__ import annotations
@@ -23,12 +29,18 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro.core.errors import ConfigurationError
 from repro.experiments import EXPERIMENT_IDS
 from repro.experiments.common import (
     ENGINE_ENV_VAR,
     ENGINES,
+    EVENT_ENGINE_NAMES,
+    LATENCY_ENV_VAR,
+    LOSS_ENV_VAR,
     SCALES,
     current_scale,
+    resolve_engine_name,
+    resolve_message_models,
 )
 
 _DESCRIPTIONS = {
@@ -48,25 +60,36 @@ def run_experiment(
     scale_name: Optional[str],
     seed: int,
     engine: Optional[str] = None,
+    latency: Optional[float] = None,
+    loss: Optional[float] = None,
 ) -> str:
     """Run one experiment and return its text report.
 
     ``engine`` selects the simulation engine for every helper that honors
-    ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`).
+    ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`); ``latency``
+    and ``loss`` are forwarded the same way (``$REPRO_LATENCY`` /
+    ``$REPRO_LOSS``) and only apply to event-driven engines.
     """
     module = importlib.import_module(f"repro.experiments.{experiment_id}")
     scale = current_scale(scale_name)
-    previous = os.environ.get(ENGINE_ENV_VAR)
-    if engine is not None:
-        os.environ[ENGINE_ENV_VAR] = engine
+    overrides = [
+        (ENGINE_ENV_VAR, engine),
+        (LATENCY_ENV_VAR, None if latency is None else repr(latency)),
+        (LOSS_ENV_VAR, None if loss is None else repr(loss)),
+    ]
+    previous = {var: os.environ.get(var) for var, _ in overrides}
+    for var, value in overrides:
+        if value is not None:
+            os.environ[var] = value
     try:
         result = module.run(scale=scale, seed=seed)
     finally:
-        if engine is not None:
-            if previous is None:
-                os.environ.pop(ENGINE_ENV_VAR, None)
-            else:
-                os.environ[ENGINE_ENV_VAR] = previous
+        for var, value in overrides:
+            if value is not None:
+                if previous[var] is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = previous[var]
     return module.report(result)
 
 
@@ -84,6 +107,8 @@ def _cmd_run(
     scale_name: Optional[str],
     seed: int,
     engine: Optional[str] = None,
+    latency: Optional[float] = None,
+    loss: Optional[float] = None,
 ) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
@@ -92,9 +117,47 @@ def _cmd_run(
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"choose from: {', '.join(EXPERIMENT_IDS)} or 'all'", file=sys.stderr)
         return 2
+    # Validate the engine and latency/loss selection eagerly --
+    # including the $REPRO_ENGINE / $REPRO_LATENCY / $REPRO_LOSS
+    # environment fallbacks, NaN, and out-of-range values -- so a typo
+    # or a knob/engine mismatch fails in milliseconds with a clear
+    # message instead of a traceback (or a silently meaningless report)
+    # mid-way through a long run.  resolve_message_models is the same
+    # validator make_engine applies, so nothing can pass here and fail
+    # there.
+    try:
+        scale = current_scale(scale_name)
+        effective_engine = resolve_engine_name(
+            engine, default=scale.default_engine
+        )
+        latency_model, loss_model = resolve_message_models(latency, loss)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    active_knobs = [
+        flag if value is not None else env_label
+        for flag, value, env_label, model in (
+            ("--latency", latency, f"${LATENCY_ENV_VAR}", latency_model),
+            ("--loss", loss, f"${LOSS_ENV_VAR}", loss_model),
+        )
+        if model is not None
+    ]
+    if active_knobs and effective_engine not in EVENT_ENGINE_NAMES:
+        print(
+            f"error: {', '.join(active_knobs)} only applies to the "
+            f"event-driven engines "
+            f"({', '.join(sorted(EVENT_ENGINE_NAMES))}); engine "
+            f"{effective_engine!r} runs the synchronous cycle model "
+            "without message timing -- add --engine event/fast-event or "
+            "drop the option",
+            file=sys.stderr,
+        )
+        return 2
     for experiment_id in ids:
         started = time.perf_counter()
-        report = run_experiment(experiment_id, scale_name, seed, engine)
+        report = run_experiment(
+            experiment_id, scale_name, seed, engine, latency, loss
+        )
         elapsed = time.perf_counter() - started
         print(report)
         print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
@@ -130,7 +193,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(ENGINES),
         default=None,
         help="simulation engine (default: $REPRO_ENGINE or 'cycle'); "
-        "'fast' gives identical results, much faster at scale",
+        "'fast' gives identical results, much faster at scale; "
+        "'event'/'fast-event' run the asynchronous latency/loss model",
+    )
+    run_parser.add_argument(
+        "--latency",
+        type=float,
+        default=None,
+        metavar="PERIODS",
+        help="constant per-message latency in gossip periods "
+        "(event-driven engines only; also $REPRO_LATENCY)",
+    )
+    run_parser.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        metavar="PROB",
+        help="per-message Bernoulli loss probability "
+        "(event-driven engines only; also $REPRO_LOSS)",
     )
     return parser
 
@@ -140,7 +220,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
-    return _cmd_run(args.ids, args.scale, args.seed, args.engine)
+    return _cmd_run(
+        args.ids, args.scale, args.seed, args.engine, args.latency, args.loss
+    )
 
 
 if __name__ == "__main__":

@@ -13,15 +13,18 @@ machine:
   check that the cycle-level results carry over to a more realistic
   deployment model.
 
-A third engine, :class:`~repro.simulation.fast.FastCycleEngine`, executes
-the identical cycle model over flat array storage (optionally through a
-compiled C core) and is byte-compatible with :class:`CycleEngine` given
-the same seed -- use it for 10^4..10^5+ node populations.
+Both execution models also exist over the shared flat-array protocol
+kernel (:mod:`repro.simulation.arrayviews`), for 10^4..10^5+ node
+populations: :class:`~repro.simulation.fast.FastCycleEngine` is
+byte-compatible with :class:`CycleEngine` given the same seed, and
+:class:`~repro.simulation.fast_event.FastEventEngine` is byte-compatible
+with :class:`EventEngine` -- both optionally through a compiled C core.
 """
 
 from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
+from repro.simulation.fast_event import FastEventEngine
 from repro.simulation.network import (
     BernoulliLoss,
     ConstantLatency,
@@ -45,6 +48,7 @@ __all__ = [
     "EventEngine",
     "ExponentialLatency",
     "FastCycleEngine",
+    "FastEventEngine",
     "MetricsRecorder",
     "NoLoss",
     "Observer",

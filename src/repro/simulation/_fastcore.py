@@ -329,6 +329,293 @@ void fc_bootstrap(int64_t n, int64_t k, int64_t fill, int64_t *rstate) {
     rstate[MT_N] = g_mti;
 }
 
+/* ------------------------------------------------------------------ */
+/* Event-driven entry points: per-exchange steps over the same kernel  */
+/* state, driven by the fast event engine's tick scheduler.  Unlike    */
+/* fc_run_cycle, the MT19937 state stays *resident* between calls      */
+/* (fc_load_state / fc_store_state bracket a scheduling slice);        */
+/* Python-side draws in between (loss, latency) go through fc_random / */
+/* fc_getrandbits, so there is still one seamless logical RNG stream.  */
+/* ------------------------------------------------------------------ */
+
+static int64_t *g_mids, *g_mhops, *g_mlen;   /* message slot pool */
+static int64_t *g_msrc, *g_mdst;             /* per-slot source/destination */
+
+void fc_load_state(int64_t *rstate) {
+    int k;
+    for (k = 0; k < MT_N; k++) g_mt[k] = (uint32_t)rstate[k];
+    g_mti = (int)rstate[MT_N];
+}
+
+void fc_store_state(int64_t *rstate) {
+    int k;
+    for (k = 0; k < MT_N; k++) rstate[k] = (int64_t)g_mt[k];
+    rstate[MT_N] = g_mti;
+}
+
+/* Random.random(): genrand_res53, bit-exact with _randommodule.c. */
+double fc_random(void) {
+    uint32_t a = genrand_uint32() >> 5, b = genrand_uint32() >> 6;
+    return (a * 67108864.0 + b) * (1.0 / 9007199254740992.0);
+}
+
+/* Random.getrandbits(k) for 1 <= k <= 32 (one MT word). */
+uint32_t fc_getrandbits(int k) {
+    return genrand_uint32() >> (32 - k);
+}
+
+void fc_event_setup(int64_t *mids, int64_t *mhops, int64_t *mlen,
+                    int64_t *msrc, int64_t *mdst) {
+    g_mids = mids; g_mhops = mhops; g_mlen = mlen;
+    g_msrc = msrc; g_mdst = mdst;
+}
+
+/* First half of the active thread for node i (GossipNode.begin_exchange):
+   age the view, select the exchange partner, build the request payload --
+   merge(view, {(me, 0)}) with the receiver-side increaseHopCount already
+   applied -- into message slot `slot`.  out = {peer (-1: none), npay}.
+   Under non-omniscient selection the peer may be dead; the caller
+   delivers anyway and the failure is counted at delivery, exactly like
+   the object-per-node event engine. */
+void fc_event_begin(int64_t i, int64_t slot, int64_t *out) {
+    int64_t row = g_rowof[i], base = row * g_c, ln = g_vlen[row];
+    int64_t p = -1, npay = 0, k;
+    for (k = 0; k < ln; k++) g_vhops[base + k]++;
+    if (ln) {
+        if (g_omniscient) {
+            int64_t nc = 0;
+            for (k = 0; k < ln; k++) {
+                int64_t a = g_vids[base + k];
+                if (g_alive[a]) s_cand[nc++] = a;
+            }
+            if (nc) {
+                if (g_ps == 0) p = s_cand[randbelow(nc)];
+                else if (g_ps == 1) p = s_cand[0];
+                else p = s_cand[nc - 1];
+            }
+        } else {
+            if (g_ps == 0) p = g_vids[base + randbelow(ln)];
+            else if (g_ps == 1) p = g_vids[base];
+            else p = g_vids[base + ln - 1];
+        }
+    }
+    if (p >= 0 && g_push) {
+        int64_t off = slot * (g_c + 1);
+        g_mids[off] = i; g_mhops[off] = 1;
+        for (k = 0; k < ln; k++) {
+            g_mids[off + 1 + k] = g_vids[base + k];
+            g_mhops[off + 1 + k] = g_vhops[base + k] + 1;
+        }
+        npay = ln + 1;
+    }
+    g_mlen[slot] = npay;
+    out[0] = p; out[1] = npay;
+}
+
+/* Deliver message slot `slot` to node `dst`.  For pull replies
+   (reply_slot >= 0) the reply snapshot is built BEFORE the merge,
+   exactly like the passive thread in Figure 1; an empty payload (the
+   pull-only request) skips the merge, which is draw- and state-neutral
+   (no truncation can trigger below capacity).  out = {nreply}. */
+void fc_event_deliver(int64_t dst, int64_t slot, int64_t reply_slot,
+                      int64_t *out) {
+    int64_t off = slot * (g_c + 1), n = g_mlen[slot];
+    int64_t nreply = 0, k;
+    if (reply_slot >= 0) {
+        int64_t row = g_rowof[dst], base = row * g_c, ln = g_vlen[row];
+        int64_t roff = reply_slot * (g_c + 1);
+        g_mids[roff] = dst; g_mhops[roff] = 1;
+        for (k = 0; k < ln; k++) {
+            g_mids[roff + 1 + k] = g_vids[base + k];
+            g_mhops[roff + 1 + k] = g_vhops[base + k] + 1;
+        }
+        nreply = ln + 1;
+        g_mlen[reply_slot] = nreply;
+    }
+    if (n) merge_into(dst, g_mids + off, g_mhops + off, n);
+    out[0] = nreply;
+}
+
+/* ------------------------------------------------------------------ */
+/* Whole-slice event loop: a native (tick, seq, data) binary min-heap  */
+/* over caller-owned int64 arrays, dispatching timers and deliveries   */
+/* entirely in C until a cycle boundary (observers run in Python), the */
+/* end of the slice, or a capacity limit is hit.  Keys are unique      */
+/* (tick, seq) pairs, so the pop order is exactly the Python packed-   */
+/* int heap's order -- internal arrangement never matters.             */
+/* ------------------------------------------------------------------ */
+
+#define EVR_END 0
+#define EVR_BOUNDARY 1
+#define EVR_HEAP_FULL 2
+#define EVR_POOL_FULL 3
+#define EVR_EMPTY 4
+
+#define EV_KIND_SHIFT 26
+#define EV_IDX_MASK ((1 << EV_KIND_SHIFT) - 1)
+#define EV_REQUEST (1 << EV_KIND_SHIFT)
+#define EV_REPLY (2 << EV_KIND_SHIFT)
+
+static void heap_sift_up(int64_t *ht, int64_t *hs, int64_t *hd,
+                         int64_t pos, int64_t tick, int64_t seqv,
+                         int64_t data) {
+    while (pos > 0) {
+        int64_t parent = (pos - 1) >> 1;
+        if (ht[parent] < tick
+            || (ht[parent] == tick && hs[parent] < seqv)) break;
+        ht[pos] = ht[parent]; hs[pos] = hs[parent]; hd[pos] = hd[parent];
+        pos = parent;
+    }
+    ht[pos] = tick; hs[pos] = seqv; hd[pos] = data;
+}
+
+void fc_heap_push(int64_t tick, int64_t seqv, int64_t data,
+                  int64_t *ht, int64_t *hs, int64_t *hd,
+                  int64_t *heap_len) {
+    heap_sift_up(ht, hs, hd, (*heap_len)++, tick, seqv, data);
+}
+
+static void heap_remove_top(int64_t *ht, int64_t *hs, int64_t *hd,
+                            int64_t n /* new length */) {
+    int64_t tick = ht[n], seqv = hs[n], data = hd[n], pos = 0, child;
+    while ((child = 2 * pos + 1) < n) {
+        if (child + 1 < n
+            && (ht[child + 1] < ht[child]
+                || (ht[child + 1] == ht[child]
+                    && hs[child + 1] < hs[child]))) child++;
+        if (ht[child] > tick
+            || (ht[child] == tick && hs[child] > seqv)) break;
+        ht[pos] = ht[child]; hs[pos] = hs[child]; hd[pos] = hd[child];
+        pos = child;
+    }
+    ht[pos] = tick; hs[pos] = seqv; hd[pos] = data;
+}
+
+/* Run the event loop until end_tick (inclusive), the next cycle
+   boundary, an empty heap, or a capacity limit.  The caller re-enters
+   after handling the return reason; counters accumulate
+   {completed, failed, sent, lost} and now_io tracks the last dispatched
+   tick (the Python scheduler's notion of "now").  Loss is decided
+   before latency is sampled, per message, exactly like the reference
+   event engine; loss_code 1 = Bernoulli(loss_p); lat_code 0 = constant
+   (const_delay ticks), 1 = uniform(lat_a + lat_b * random()),
+   2 = exponential(-log(1 - random()) / lat_a), all bit-exact with the
+   corresponding random.Random expressions. */
+int64_t fc_event_run(int64_t end_tick, int64_t boundary_tick,
+                     int64_t *ht, int64_t *hs, int64_t *hd,
+                     int64_t *heap_len, int64_t heap_cap,
+                     int64_t *freelist, int64_t *free_len,
+                     int64_t *pool_fresh, int64_t pool_cap,
+                     int64_t *seq_io, int64_t *now_io,
+                     int64_t loss_code, double loss_p,
+                     int64_t lat_code, int64_t const_delay,
+                     double lat_a, double lat_b,
+                     double tick_scale, int64_t period_ticks,
+                     int64_t *counters, int64_t *top_tick_out) {
+    for (;;) {
+        int64_t tick, data, n, i, slot, p;
+        if (*heap_len == 0) return EVR_EMPTY;
+        tick = ht[0];
+        if (tick > end_tick) return EVR_END;
+        if (tick >= boundary_tick) { *top_tick_out = tick; return EVR_BOUNDARY; }
+        /* conservative per-event guards: at most 2 pushes, 1 fresh slot */
+        if (*heap_len + 2 > heap_cap) return EVR_HEAP_FULL;
+        if (*free_len == 0 && *pool_fresh >= pool_cap) return EVR_POOL_FULL;
+        data = hd[0];
+        n = --(*heap_len);
+        heap_remove_top(ht, hs, hd, n);
+        *now_io = tick;
+
+        if (data < EV_REQUEST) {                      /* timer */
+            i = data;
+            if (!g_alive[i]) continue;   /* the timer dies with the node */
+            slot = *free_len ? freelist[--(*free_len)] : (*pool_fresh)++;
+            {
+                int64_t out2[2];
+                fc_event_begin(i, slot, out2);
+                p = out2[0];
+            }
+            if (p >= 0) {
+                counters[2]++;                        /* sent */
+                if (loss_code == 1 && fc_random() < loss_p) {
+                    counters[3]++;                    /* lost */
+                    freelist[(*free_len)++] = slot;
+                } else {
+                    int64_t delay =
+                        lat_code == 0 ? const_delay
+                        : lat_code == 1
+                            ? (int64_t)((lat_a + lat_b * fc_random())
+                                        * tick_scale)
+                            : (int64_t)(-log(1.0 - fc_random()) / lat_a
+                                        * tick_scale);
+                    g_msrc[slot] = i; g_mdst[slot] = p;
+                    heap_sift_up(ht, hs, hd, (*heap_len)++,
+                                 tick + delay, (*seq_io)++,
+                                 EV_REQUEST | slot);
+                }
+            } else {
+                freelist[(*free_len)++] = slot;
+            }
+            /* the timer survives even when no exchange started */
+            heap_sift_up(ht, hs, hd, (*heap_len)++,
+                         tick + period_ticks, (*seq_io)++, data);
+
+        } else if (data < EV_REPLY) {                 /* request delivery */
+            int64_t dst, src;
+            slot = data & EV_IDX_MASK;
+            dst = g_mdst[slot];
+            if (!g_alive[dst]) {
+                counters[1]++;                        /* failed */
+                freelist[(*free_len)++] = slot;
+                continue;
+            }
+            src = g_msrc[slot];
+            if (g_pull) {
+                int64_t out2[2];
+                int64_t rslot =
+                    *free_len ? freelist[--(*free_len)] : (*pool_fresh)++;
+                fc_event_deliver(dst, slot, rslot, out2);
+                counters[0]++;                        /* completed */
+                freelist[(*free_len)++] = slot;
+                counters[2]++;                        /* sent */
+                if (loss_code == 1 && fc_random() < loss_p) {
+                    counters[3]++;
+                    freelist[(*free_len)++] = rslot;
+                } else {
+                    int64_t delay =
+                        lat_code == 0 ? const_delay
+                        : lat_code == 1
+                            ? (int64_t)((lat_a + lat_b * fc_random())
+                                        * tick_scale)
+                            : (int64_t)(-log(1.0 - fc_random()) / lat_a
+                                        * tick_scale);
+                    g_msrc[rslot] = dst; g_mdst[rslot] = src;
+                    heap_sift_up(ht, hs, hd, (*heap_len)++,
+                                 tick + delay, (*seq_io)++,
+                                 EV_REPLY | rslot);
+                }
+            } else {
+                int64_t out2[2];
+                fc_event_deliver(dst, slot, -1, out2);
+                counters[0]++;
+                freelist[(*free_len)++] = slot;
+            }
+
+        } else {                                      /* reply delivery */
+            int64_t dst, out2[2];
+            slot = data & EV_IDX_MASK;
+            dst = g_mdst[slot];
+            if (!g_alive[dst]) {
+                counters[1]++;
+                freelist[(*free_len)++] = slot;
+                continue;
+            }
+            fc_event_deliver(dst, slot, -1, out2);
+            freelist[(*free_len)++] = slot;
+        }
+    }
+}
+
 /* One full cycle.  order: live ids in insertion order (shuffled in place
    when enabled); rstate: the 625-word Mersenne Twister state from
    Random.getstate(), mutated in place; out: {completed, failed}. */
@@ -398,6 +685,15 @@ void fc_run_cycle(int64_t *order, int64_t norder, int64_t *rstate,
 }
 """
 
+_CFLAGS = ("-O2", "-ffp-contract=off", "-fPIC", "-shared")
+"""Compile flags; part of the library cache key because they are
+semantically load-bearing: ``-ffp-contract=off`` stops compilers that
+contract ``a*b + c`` into fma by default (aarch64) from skipping the
+intermediate rounding CPython's float arithmetic performs -- the
+event-path latency expressions must round identically or a delay can
+land on the other side of an integer-tick boundary and silently break
+the byte-identity contract."""
+
 _I64P = ctypes.POINTER(ctypes.c_int64)
 _U8P = ctypes.POINTER(ctypes.c_ubyte)
 
@@ -422,9 +718,55 @@ class Accelerator:
             ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64P,
         ]
         lib.fc_bootstrap.restype = None
+        lib.fc_load_state.argtypes = [_I64P]
+        lib.fc_load_state.restype = None
+        lib.fc_store_state.argtypes = [_I64P]
+        lib.fc_store_state.restype = None
+        lib.fc_random.argtypes = []
+        lib.fc_random.restype = ctypes.c_double
+        lib.fc_getrandbits.argtypes = [ctypes.c_int]
+        lib.fc_getrandbits.restype = ctypes.c_uint32
+        lib.fc_event_setup.argtypes = [_I64P, _I64P, _I64P, _I64P, _I64P]
+        lib.fc_event_setup.restype = None
+        lib.fc_event_begin.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, _I64P,
+        ]
+        lib.fc_event_begin.restype = None
+        lib.fc_event_deliver.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, _I64P,
+        ]
+        lib.fc_event_deliver.restype = None
+        lib.fc_heap_push.argtypes = [
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            _I64P, _I64P, _I64P, _I64P,
+        ]
+        lib.fc_heap_push.restype = None
+        lib.fc_event_run.argtypes = [
+            ctypes.c_int64, ctypes.c_int64,            # end, boundary
+            _I64P, _I64P, _I64P,                       # heap tick/seq/data
+            _I64P, ctypes.c_int64,                     # heap_len, heap_cap
+            _I64P, _I64P,                              # freelist, free_len
+            _I64P, ctypes.c_int64,                     # pool_fresh, pool_cap
+            _I64P, _I64P,                              # seq_io, now_io
+            ctypes.c_int64, ctypes.c_double,           # loss_code, loss_p
+            ctypes.c_int64, ctypes.c_int64,            # lat_code, const_delay
+            ctypes.c_double, ctypes.c_double,          # lat_a, lat_b
+            ctypes.c_double, ctypes.c_int64,           # tick_scale, period
+            _I64P, _I64P,                              # counters, top_tick
+        ]
+        lib.fc_event_run.restype = ctypes.c_int64
         self.setup = lib.fc_setup
         self.run_cycle = lib.fc_run_cycle
         self.bootstrap = lib.fc_bootstrap
+        self.load_state = lib.fc_load_state
+        self.store_state = lib.fc_store_state
+        self.rand_double = lib.fc_random
+        self.rand_bits = lib.fc_getrandbits
+        self.event_setup = lib.fc_event_setup
+        self.event_begin = lib.fc_event_begin
+        self.event_deliver = lib.fc_event_deliver
+        self.heap_push = lib.fc_heap_push
+        self.event_run = lib.fc_event_run
 
     @staticmethod
     def pointer(buffer_address: int) -> "ctypes.POINTER(ctypes.c_int64)":
@@ -470,7 +812,11 @@ def _cache_dir() -> str:
 
 
 def _cache_path() -> str:
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    # Hash source AND flags: a flags-only change must not reuse a stale
+    # library compiled under different floating-point semantics.
+    digest = hashlib.sha256(
+        (_SOURCE + repr(_CFLAGS)).encode()
+    ).hexdigest()[:16]
     tag = f"repro_fastcore_{digest}_py{sys.version_info[0]}{sys.version_info[1]}"
     return os.path.join(_cache_dir(), f"{tag}.so")
 
@@ -488,7 +834,7 @@ def _build() -> Optional[str]:
             handle.write(_SOURCE)
         so_tmp = f"{target}.{os.getpid()}.tmp"
         result = subprocess.run(
-            [compiler, "-O2", "-fPIC", "-shared", "-o", so_tmp, c_path, "-lm"],
+            [compiler, *_CFLAGS, "-o", so_tmp, c_path, "-lm"],
             capture_output=True,
         )
         if result.returncode != 0:

@@ -35,6 +35,7 @@ from typing import List, NamedTuple, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
 from repro.simulation.base import BaseEngine, NodeFactory
 from repro.simulation.network import (
     ConstantLatency,
@@ -46,9 +47,25 @@ from repro.simulation.scheduler import EventScheduler
 
 __all__ = ["EventEngine"]
 
+_TIME_GRID = 1 << 40
+"""Integer quanta per gossip period for the run-horizon bookkeeping --
+the same default resolution the tick-based fast event engine uses, so
+chained ``run_time`` calls accumulate exactly on both engines."""
+
 
 class _Timer(NamedTuple):
+    """One node's periodic activation.
+
+    Carries the timer's absolute ``phase`` and occurrence ``index`` so
+    that the ``k``-th firing is scheduled at the exact absolute time
+    ``phase + k * period`` (one float multiplication from an integer)
+    instead of accumulating ``now + period`` -- chained relative delays
+    drift after many periods (see the scheduler module docstring).
+    """
+
     address: Address
+    phase: float
+    index: int
 
 
 class _Request(NamedTuple):
@@ -102,7 +119,15 @@ class EventEngine(BaseEngine):
         self.latency = latency if latency is not None else ConstantLatency(period / 10)
         self.loss = loss if loss is not None else NoLoss()
         self._scheduler = EventScheduler()
-        self._next_boundary = period
+        self._boundary_index = 0  # boundary k sits at exactly k * period
+        # The run horizon is an exact integer: whole periods plus
+        # _TIME_GRID-ths of a period from explicit run_time calls.  N
+        # run_cycle() calls (or chained run_time fractions) therefore end
+        # at exactly the same point as one equivalent run(N) -- a
+        # float-accumulated sum can fall short of the Nth boundary and
+        # silently drop its observers.
+        self._elapsed_periods = 0
+        self._extra_ticks = 0
         self.messages_sent = 0
         self.messages_lost = 0
 
@@ -114,39 +139,75 @@ class EventEngine(BaseEngine):
     # -- population hooks ----------------------------------------------------
 
     def _on_node_added(self, address: Address) -> None:
-        # Random initial phase desynchronizes the node activations.
-        self._scheduler.schedule(self.rng.uniform(0.0, self.period), _Timer(address))
+        # Random initial phase desynchronizes the node activations.  The
+        # absolute phase anchors the whole timer sequence: firing k is at
+        # phase + k * period, exact in k, so timers never drift.
+        phase = self._scheduler.now + self.rng.uniform(0.0, self.period)
+        self._scheduler.schedule_at(phase, _Timer(address, phase, 0))
 
     # -- execution -------------------------------------------------------------
 
     def run_time(self, duration: float) -> None:
-        """Advance simulated time by ``duration``, processing all events."""
-        end = self._scheduler.now + duration
-        while True:
-            next_time = self._scheduler.peek_time()
-            if next_time is None or next_time > end:
-                break
-            self._fire_boundaries(next_time)
-            self._dispatch(self._scheduler.pop())
-        self._fire_boundaries(end)
-        self._scheduler.now = end
+        """Advance simulated time by ``duration``, processing all events.
+
+        Cycle boundaries interleave with event dispatch even when the
+        queue runs dry: observers may *create* work (the growing scenario
+        adds nodes, whose timers must then fire within the same run), so
+        trailing boundaries are fired one at a time, draining any newly
+        scheduled events in between, rather than back-to-back at the end.
+        """
+        if duration < 0:
+            # rewinding `now` would violate the monotone-clock contract
+            raise ConfigurationError(
+                f"cannot run a negative duration: {duration}"
+            )
+        self._extra_ticks += round(duration / self.period * _TIME_GRID)
+        self._run_until_horizon()
 
     def run(self, cycles: int) -> None:
         """Advance time by ``cycles`` gossip periods."""
-        self.run_time(cycles * self.period)
+        if cycles < 0:
+            # rewinding `now` would violate the monotone-clock contract
+            raise ConfigurationError(
+                f"cannot run a negative duration: {cycles}"
+            )
+        self._elapsed_periods += cycles
+        self._run_until_horizon()
 
     def run_cycle(self) -> None:
         """Advance time by one gossip period."""
-        self.run_time(self.period)
+        self.run(1)
+
+    def _run_until_horizon(self) -> None:
+        # integer horizon: exact boundary accounting; float `end` only
+        # cuts off the (float-timed) event queue.
+        grid_end = self._elapsed_periods * _TIME_GRID + self._extra_ticks
+        end = grid_end / _TIME_GRID * self.period
+        while True:
+            next_time = self._scheduler.peek_time()
+            if next_time is not None and next_time <= end:
+                self._fire_boundaries(next_time)
+                self._dispatch(self._scheduler.pop())
+                continue
+            if (self._boundary_index + 1) * _TIME_GRID <= grid_end:
+                self._fire_next_boundary()
+                continue
+            break
+        self._scheduler.now = end
 
     # -- internals ----------------------------------------------------------------
 
     def _fire_boundaries(self, up_to: float) -> None:
-        while self._next_boundary <= up_to:
-            self.cycle += 1
-            self._notify_after_cycle()
-            self._notify_before_cycle()
-            self._next_boundary += self.period
+        # Boundary k is the exact product k * period, not an accumulated
+        # sum, for the same no-drift reason as the gossip timers.
+        while (self._boundary_index + 1) * self.period <= up_to:
+            self._fire_next_boundary()
+
+    def _fire_next_boundary(self) -> None:
+        self._boundary_index += 1
+        self.cycle += 1
+        self._notify_after_cycle()
+        self._notify_before_cycle()
 
     def _dispatch(self, event: object) -> None:
         if isinstance(event, _Timer):
@@ -179,7 +240,10 @@ class EventEngine(BaseEngine):
                 exchange.peer,
                 _Request(event.address, exchange.peer, exchange.payload),
             )
-        self._scheduler.schedule(self.period, _Timer(event.address))
+        self._scheduler.schedule_at(
+            event.phase + (event.index + 1) * self.period,
+            _Timer(event.address, event.phase, event.index + 1),
+        )
 
     def _on_request(self, event: _Request) -> None:
         node = self._nodes.get(event.recipient)

@@ -3,42 +3,26 @@
 :class:`FastCycleEngine` executes exactly the same protocol as
 :class:`~repro.simulation.engine.CycleEngine` -- the paper's Figure 1
 active/passive threads under the PeerSim-style synchronous cycle model --
-but stores the whole population in flat preallocated arrays instead of one
+but runs it over the shared flat-array protocol kernel
+(:class:`~repro.simulation.arrayviews.FlatArrayEngine`) instead of one
 ``GossipNode`` + ``PartialView`` + ``NodeDescriptor`` object per peer.
+The kernel owns the storage layout, the churn bookkeeping and the
+merge/truncate pipeline (see the :mod:`~repro.simulation.arrayviews`
+module docstring for the layout and the Figure 1 mapping); this module
+adds only the synchronous execution model.  The asynchronous counterpart,
+:class:`~repro.simulation.fast_event.FastEventEngine`, drives the same
+kernel from a discrete-event scheduler -- the two engines share every
+exchange primitive and therefore cannot drift apart.
 
-Flat-array layout
------------------
-
-Every address ever seen by the engine is *interned* to a small integer id
-(ids are permanent: a crashed node that rejoins keeps its id, so stale
-descriptors in other views correctly point at the rejoined node, exactly
-as address-keyed dictionaries behave in the reference engine).  Per-id
-state lives in parallel arrays:
-
-- ``_addr_of[id]``   -- the external address (inverse of ``_id_of``);
-- ``_alive[id]``     -- liveness flag (``array('B')``);
-- ``_row_of[id]``    -- index of the node's view row, ``-1`` when dead.
-
-View storage is two flat ``array('q')`` buffers with ``c`` slots per row
-(``c`` = the configured view size): ``_vids[row*c + k]`` holds the peer id
-of the ``k``-th view entry and ``_vhops`` its hop count; ``_vlen[row]`` is
-the fill level.  Rows hold entries compacted at the front in increasing
-hop-count order -- the same invariant ``PartialView`` maintains.  A
-free-list recycles rows under churn, so memory is bounded by the peak
-live population, not by the total number of joins.  At 100,000 nodes with
-``c = 30`` the whole overlay state is two ~24 MB C buffers instead of
-several million Python objects.
-
-One exchange (peer selection, view propagation, ``merge`` + healer/swapper
-+ head/tail/rand truncation) is pure index manipulation over reusable
-scratch buffers; no ``NodeDescriptor``/``PartialView``/``GossipNode``
-objects are allocated anywhere on the cycle path.
+At 100,000 nodes with ``c = 30`` the whole overlay state is two ~24 MB C
+buffers instead of several million Python objects, and one exchange is
+pure index manipulation over reusable scratch buffers.
 
 Execution backends
 ------------------
 
-Because the arrays are plain C ``int64`` memory, the cycle loop itself has
-two interchangeable implementations:
+Because the kernel arrays are plain C ``int64`` memory, the cycle loop
+itself has two interchangeable implementations:
 
 - an optional C core (:mod:`repro.simulation._fastcore`), compiled once
   with the system C compiler, that runs entire cycles natively -- orders
@@ -73,7 +57,8 @@ When to prefer which engine
   the built-in generic protocol; identical results, far faster and a
   fraction of the memory (see ``benchmarks/bench_fast_engine.py`` for the
   measured speedup table, summarized in ``ROADMAP.md``).
-- ``EventEngine`` -- asynchronous message timing studies.
+- ``EventEngine`` / ``FastEventEngine`` -- asynchronous message timing
+  studies (the latter is the large-scale array-backed version).
 """
 
 from __future__ import annotations
@@ -81,256 +66,20 @@ from __future__ import annotations
 import random
 from array import array
 from itertools import compress
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.core.config import ProtocolConfig
-from repro.core.descriptor import Address, NodeDescriptor
-from repro.core.errors import (
-    ConfigurationError,
-    NodeNotFoundError,
-    ViewError,
+from repro.core.policies import PeerSelection
+from repro.simulation._fastcore import Accelerator
+from repro.simulation.arrayviews import (
+    FastNode,
+    FastViewProxy,
+    FlatArrayEngine,
 )
-from repro.core.policies import PeerSelection, ViewSelection
-from repro.core.view import merge
-from repro.simulation._fastcore import Accelerator, load_accelerator
-from repro.simulation.base import BaseEngine
 
 __all__ = ["FastCycleEngine", "FastNode", "FastViewProxy"]
 
-_POLICY_CODE = {"rand": 0, "head": 1, "tail": 2}
 
-
-class FastViewProxy:
-    """A ``PartialView``-compatible window onto one node's view row.
-
-    Reads materialize :class:`NodeDescriptor` objects on demand; writes go
-    straight back into the engine's flat arrays.  Only the introspection /
-    bootstrap paths use this class -- the cycle hot path never does.
-    """
-
-    __slots__ = ("_engine", "_id")
-
-    def __init__(self, engine: "FastCycleEngine", node_id: int) -> None:
-        self._engine = engine
-        self._id = node_id
-
-    @property
-    def capacity(self) -> int:
-        """The view capacity ``c`` (shared by all nodes of the engine)."""
-        return self._engine.config.view_size
-
-    def _bounds(self) -> "tuple":
-        engine = self._engine
-        row = engine._row_of[self._id]
-        if row < 0:
-            return 0, 0
-        base = row * engine.config.view_size
-        return base, base + engine._vlen[row]
-
-    # -- read access ------------------------------------------------------
-
-    def __len__(self) -> int:
-        base, end = self._bounds()
-        return end - base
-
-    def __iter__(self) -> Iterator[NodeDescriptor]:
-        engine = self._engine
-        base, end = self._bounds()
-        for k in range(base, end):
-            yield NodeDescriptor(
-                engine._addr_of[engine._vids[k]], engine._vhops[k]
-            )
-
-    def __contains__(self, address: Address) -> bool:
-        peer = self._engine._id_of.get(address)
-        if peer is None:
-            return False
-        base, end = self._bounds()
-        return peer in self._engine._vids[base:end]
-
-    def __repr__(self) -> str:
-        return (
-            f"FastViewProxy(capacity={self.capacity}, size={len(self)})"
-        )
-
-    @property
-    def entries(self) -> List[NodeDescriptor]:
-        """Fresh descriptors for the current entries, hop-count ordered."""
-        return list(self)
-
-    def addresses(self) -> List[Address]:
-        """All addresses currently in the view, in hop-count order."""
-        engine = self._engine
-        base, end = self._bounds()
-        addr_of = engine._addr_of
-        return [addr_of[i] for i in engine._vids[base:end]]
-
-    def descriptor_for(self, address: Address) -> Optional[NodeDescriptor]:
-        """The descriptor stored for ``address``, or ``None``."""
-        for descriptor in self:
-            if descriptor.address == address:
-                return descriptor
-        return None
-
-    def is_full(self) -> bool:
-        """Whether the view holds ``capacity`` descriptors."""
-        return len(self) >= self.capacity
-
-    def head(self) -> Optional[NodeDescriptor]:
-        """The descriptor with the lowest hop count, or ``None`` if empty."""
-        base, end = self._bounds()
-        if base == end:
-            return None
-        engine = self._engine
-        return NodeDescriptor(
-            engine._addr_of[engine._vids[base]], engine._vhops[base]
-        )
-
-    def tail(self) -> Optional[NodeDescriptor]:
-        """The descriptor with the highest hop count, or ``None`` if empty."""
-        base, end = self._bounds()
-        if base == end:
-            return None
-        engine = self._engine
-        return NodeDescriptor(
-            engine._addr_of[engine._vids[end - 1]], engine._vhops[end - 1]
-        )
-
-    def random_entry(self, rng: random.Random) -> Optional[NodeDescriptor]:
-        """A uniformly random descriptor, or ``None`` if empty.
-
-        Consumes exactly one ``_randbelow`` draw, like
-        ``random.Random.choice`` on the reference view's entry list.
-        """
-        base, end = self._bounds()
-        if base == end:
-            return None
-        engine = self._engine
-        k = base + rng.randrange(end - base)
-        return NodeDescriptor(
-            engine._addr_of[engine._vids[k]], engine._vhops[k]
-        )
-
-    # -- mutation ---------------------------------------------------------
-
-    def replace(self, entries: Iterable[NodeDescriptor]) -> None:
-        """Adopt ``entries`` as the new view content (bootstrap path).
-
-        Same contract as :meth:`PartialView.replace`: deduplicate keeping
-        the lowest hop count, order by hop count, reject overflow.
-        """
-        merged = merge(entries)
-        if len(merged) > self.capacity:
-            raise ViewError(
-                f"{len(merged)} descriptors exceed view capacity "
-                f"{self.capacity}"
-            )
-        engine = self._engine
-        row = engine._row_of[self._id]
-        if row < 0:
-            raise NodeNotFoundError(engine._addr_of[self._id])
-        base = row * engine.config.view_size
-        vids = engine._vids
-        vhops = engine._vhops
-        intern = engine._intern
-        for k, descriptor in enumerate(merged):
-            entry_id = intern(descriptor.address)
-            if not engine._alive[entry_id]:
-                engine._maybe_dead_refs = True
-            vids[base + k] = entry_id
-            vhops[base + k] = descriptor.hop_count
-        engine._vlen[row] = len(merged)
-
-    def increase_hop_counts(self) -> None:
-        """Increment every stored entry's hop count in place."""
-        base, end = self._bounds()
-        vhops = self._engine._vhops
-        for k in range(base, end):
-            vhops[k] += 1
-
-    def remove(self, address: Address) -> bool:
-        """Drop the descriptor for ``address``; return whether it existed."""
-        engine = self._engine
-        peer = engine._id_of.get(address)
-        if peer is None:
-            return False
-        base, end = self._bounds()
-        vids = engine._vids
-        for k in range(base, end):
-            if vids[k] == peer:
-                row = engine._row_of[self._id]
-                vids[k:end - 1] = vids[k + 1:end]
-                engine._vhops[k:end - 1] = engine._vhops[k + 1:end]
-                engine._vlen[row] -= 1
-                return True
-        return False
-
-    def clear(self) -> None:
-        """Remove every descriptor."""
-        engine = self._engine
-        row = engine._row_of[self._id]
-        if row >= 0:
-            engine._vlen[row] = 0
-
-
-class FastNode:
-    """A ``GossipNode``-shaped handle onto one live node of the engine.
-
-    Supports everything the population-level consumers need --
-    ``PeerSamplingService``, the bootstrap scenarios, the observers --
-    without holding any per-node state of its own.
-    """
-
-    __slots__ = ("_engine", "address", "view")
-
-    def __init__(self, engine: "FastCycleEngine", node_id: int) -> None:
-        self._engine = engine
-        self.address = engine._addr_of[node_id]
-        self.view = FastViewProxy(engine, node_id)
-
-    @property
-    def config(self) -> ProtocolConfig:
-        """The protocol instance every node of the engine runs."""
-        return self._engine.config
-
-    @property
-    def liveness(self):
-        """The engine's membership test (see ``GossipNode.liveness``)."""
-        if self._engine.omniscient_peer_selection:
-            return self._engine.is_alive
-        return None
-
-    def sample_peer(self) -> Optional[Address]:
-        """A uniform random address from the current view (``getPeer``)."""
-        entry = self.view.random_entry(self._engine.rng)
-        return None if entry is None else entry.address
-
-    def __repr__(self) -> str:
-        return (
-            f"FastNode(address={self.address!r}, "
-            f"protocol={self._engine.config.label}, "
-            f"view_size={len(self.view)})"
-        )
-
-
-class FastCycleEngine(BaseEngine):
-    """Cycle-driven executor over flat array storage (see module docstring).
-
-    Implements the full :class:`~repro.simulation.base.BaseEngine`
-    population API (``add_node`` / ``remove_node`` / ``crash_random_nodes``
-    / ``views`` / ``dead_link_count`` / observers / ``reachable``), so the
-    scenario helpers, ``GraphSnapshot.from_engine`` and the experiment
-    runners work unchanged.  Custom ``node_factory`` protocols are not
-    supported -- extension protocols keep using :class:`CycleEngine`.
-
-    Parameters
-    ----------
-    accelerate:
-        ``None`` (default): use the compiled C cycle core when available,
-        falling back to pure Python silently.  ``False``: never use the C
-        core.  ``True``: require it (raises
-        :class:`~repro.core.errors.ConfigurationError` when no C compiler
-        is usable).  Both backends produce byte-identical results.
+class FastCycleEngine(FlatArrayEngine):
+    """Cycle-driven executor over the flat-array kernel (module docstring).
 
     Example
     -------
@@ -345,318 +94,6 @@ class FastCycleEngine(BaseEngine):
 
     shuffle_each_cycle: bool = True
     """Same contract as ``CycleEngine.shuffle_each_cycle``."""
-
-    def __init__(
-        self,
-        config: Optional[ProtocolConfig] = None,
-        seed: Optional[int] = None,
-        rng: Optional[random.Random] = None,
-        node_factory=None,
-        omniscient_peer_selection: bool = True,
-        accelerate: Optional[bool] = None,
-    ) -> None:
-        if node_factory is not None:
-            raise ConfigurationError(
-                "FastCycleEngine runs the built-in generic protocol only; "
-                "use CycleEngine for custom node factories"
-            )
-        super().__init__(
-            config=config,
-            seed=seed,
-            rng=rng,
-            omniscient_peer_selection=omniscient_peer_selection,
-        )
-        assert self.config is not None
-        if accelerate is False:
-            self._accel: Optional[Accelerator] = None
-        else:
-            self._accel = load_accelerator()
-            if accelerate is True and self._accel is None:
-                raise ConfigurationError(
-                    "accelerate=True but no C accelerator is available "
-                    "(no usable C compiler, or REPRO_NO_ACCEL is set)"
-                )
-        # id-indexed state (permanent: ids are never reused).
-        self._addr_of: List[Address] = []
-        self._id_of: Dict[Address, int] = {}
-        self._alive = array("B")
-        self._row_of = array("q")
-        # live ids, in the reference engine's dict-insertion order.
-        self._live: Dict[int, None] = {}
-        # flat view storage: c slots per row, free-list recycling.
-        self._vids = array("q")
-        self._vhops = array("q")
-        self._vlen = array("q")
-        self._free_rows: List[int] = []
-        self._zero_row = bytes(8 * self.config.view_size)
-        # False until a crash/ghost contact makes dead view entries
-        # possible; while False, the Python path skips liveness filtering
-        # (the C path always filters -- same candidate set either way).
-        self._maybe_dead_refs = False
-
-    @property
-    def accelerated(self) -> bool:
-        """Whether the compiled C cycle core is in use."""
-        return self._accel is not None
-
-    # -- id / storage management ------------------------------------------
-
-    def _intern(self, address: Address) -> int:
-        """The permanent integer id for ``address`` (allocating one if new)."""
-        node_id = self._id_of.get(address)
-        if node_id is None:
-            node_id = len(self._addr_of)
-            self._id_of[address] = node_id
-            self._addr_of.append(address)
-            self._alive.append(0)
-            self._row_of.append(-1)
-        return node_id
-
-    def _allocate_row(self) -> int:
-        if self._free_rows:
-            return self._free_rows.pop()
-        row = len(self._vlen)
-        self._vlen.append(0)
-        self._vids.frombytes(self._zero_row)
-        self._vhops.frombytes(self._zero_row)
-        return row
-
-    # -- population management --------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self._live)
-
-    def __contains__(self, address: Address) -> bool:
-        node_id = self._id_of.get(address)
-        return node_id is not None and bool(self._alive[node_id])
-
-    def addresses(self) -> List[Address]:
-        """All live node addresses, in insertion order."""
-        addr_of = self._addr_of
-        return [addr_of[i] for i in self._live]
-
-    def nodes(self) -> List[FastNode]:
-        """Lightweight handles for all live nodes, in insertion order."""
-        return [FastNode(self, i) for i in self._live]
-
-    def node(self, address: Address) -> FastNode:
-        """A handle for the live node at ``address`` (raises if absent)."""
-        node_id = self._id_of.get(address)
-        if node_id is None or not self._alive[node_id]:
-            raise NodeNotFoundError(address)
-        return FastNode(self, node_id)
-
-    def is_alive(self, address: Address) -> bool:
-        """Whether a live node exists at ``address``."""
-        node_id = self._id_of.get(address)
-        return node_id is not None and bool(self._alive[node_id])
-
-    def add_node(
-        self,
-        address: Optional[Address] = None,
-        contacts: Iterable[Address] = (),
-    ) -> Address:
-        """Create a live node, optionally seeding its view with contacts.
-
-        Identical contract (and auto-address sequence) to
-        :meth:`BaseEngine.add_node`: contacts enter with hop count 0, a
-        node's own address is filtered out, the list is truncated to the
-        view capacity before deduplication -- matching what
-        ``PeerSamplingService.init`` does on the reference engine.
-        """
-        if address is None:
-            while self._next_auto_address in self:
-                self._next_auto_address += 1
-            address = self._next_auto_address
-            self._next_auto_address += 1
-        if address in self:
-            raise ConfigurationError(f"node {address!r} already exists")
-        node_id = self._intern(address)
-        self._alive[node_id] = 1
-        row = self._allocate_row()
-        self._row_of[node_id] = row
-        self._vlen[row] = 0
-        self._live[node_id] = None
-        c = self.config.view_size
-        base = row * c
-        n = 0
-        taken = 0  # duplicates consume capacity slots, like init's [:c]
-        seen = set()
-        for contact in contacts:
-            if contact == address:
-                continue
-            if taken >= c:
-                break
-            taken += 1
-            contact_id = self._intern(contact)
-            if not self._alive[contact_id]:
-                self._maybe_dead_refs = True
-            if contact_id in seen:
-                continue
-            seen.add(contact_id)
-            self._vids[base + n] = contact_id
-            self._vhops[base + n] = 0
-            n += 1
-        self._vlen[row] = n
-        self._on_node_added(address)
-        return address
-
-    def remove_node(self, address: Address) -> None:
-        """Crash the node at ``address`` (other views keep its descriptors)."""
-        node_id = self._id_of.get(address)
-        if node_id is None or not self._alive[node_id]:
-            raise NodeNotFoundError(address)
-        self._kill(node_id)
-
-    def _kill(self, node_id: int) -> None:
-        self._alive[node_id] = 0
-        self._free_rows.append(self._row_of[node_id])
-        self._row_of[node_id] = -1
-        del self._live[node_id]
-        self._maybe_dead_refs = True
-
-    def crash_random_nodes(self, count: int) -> List[Address]:
-        """Crash ``count`` uniformly random nodes; return their addresses.
-
-        Consumes the RNG exactly like the reference engine (one ``sample``
-        over the insertion-ordered live address list).
-        """
-        if count > len(self._live):
-            raise ConfigurationError(
-                f"cannot crash {count} of {len(self._live)} nodes"
-            )
-        addr_of = self._addr_of
-        victims = self.rng.sample([addr_of[i] for i in self._live], count)
-        for victim in victims:
-            self._kill(self._id_of[victim])
-        return victims
-
-    # -- bulk bootstrap ----------------------------------------------------
-
-    def bootstrap_random_views(
-        self, addresses: List[Address], view_fill: Optional[int] = None
-    ) -> bool:
-        """Fill every view with a random sample, entirely in index space.
-
-        The flat-array fast path behind
-        :func:`~repro.simulation.scenarios.random_bootstrap`: no
-        ``NodeDescriptor`` objects, no per-entry merge -- and with the C
-        core, no interpreted sampling loop at all.  Consumes the RNG
-        *exactly* like the generic path (the same ``sample()`` draws in
-        the same order), so overlays stay byte-identical across engines
-        for the same seed; the differential suite pins this.
-
-        Returns ``False`` -- leaving all state untouched -- when the
-        engine is not a freshly auto-addressed population of exactly
-        ``addresses`` (the only case worth specializing); the caller then
-        falls back to the generic path.
-        """
-        n = len(addresses)
-        if (
-            len(self._live) != n
-            or len(self._addr_of) != n
-            or self._free_rows
-            or self._addr_of != list(range(n))
-            or addresses != self._addr_of
-        ):
-            return False
-        c = self.config.view_size
-        fill = c if view_fill is None else view_fill
-        fill = min(fill, n - 1, c)
-        if fill <= 0:
-            return True  # single node / zero fill: every view stays empty
-        rng = self.rng
-        k = fill + 1
-        if self._accel is not None and type(rng) is random.Random:
-            self._bootstrap_c(self._accel, n, k, fill)
-            return True
-        vids = self._vids
-        vhops = self._vhops
-        vlen = self._vlen
-        row_of = self._row_of
-        sample = rng.sample
-        zeros = array("q", bytes(8 * fill))
-        for i in range(n):
-            others = sample(addresses, k)
-            row = row_of[i]
-            base = row * c
-            w = 0
-            for peer in others:
-                if peer != i:
-                    if w == fill:
-                        break
-                    vids[base + w] = peer
-                    w += 1
-            vhops[base : base + fill] = zeros
-            vlen[row] = w
-        return True
-
-    def _bootstrap_c(self, accel: Accelerator, n: int, k: int, fill: int) -> None:
-        """Run ``fc_bootstrap`` (bit-exact ``sample()`` draws in C)."""
-        config = self.config
-        rng = self.rng
-        state_before = rng.getstate()
-        state = array("q", state_before[1])
-        pointer = Accelerator.pointer
-        accel.setup(
-            pointer(self._vids.buffer_info()[0]),
-            pointer(self._vhops.buffer_info()[0]),
-            pointer(self._vlen.buffer_info()[0]),
-            pointer(self._row_of.buffer_info()[0]),
-            Accelerator.byte_pointer(self._alive.buffer_info()[0]),
-            config.view_size,
-            config.healer,
-            config.swapper,
-            int(config.keep_self_descriptors),
-            int(config.push),
-            int(config.pull),
-            _POLICY_CODE[config.peer_selection.value],
-            _POLICY_CODE[config.view_selection.value],
-            int(self.omniscient_peer_selection),
-            int(self.shuffle_each_cycle),
-        )
-        accel.bootstrap(n, k, fill, pointer(state.buffer_info()[0]))
-        rng.setstate((state_before[0], tuple(state), state_before[2]))
-
-    # -- introspection ----------------------------------------------------
-
-    def views(self) -> Dict[Address, Sequence[NodeDescriptor]]:
-        """A snapshot of every node's current view entries.
-
-        Same key order (node insertion) and entry order (increasing hop
-        count) as the reference engine's ``views()``.
-        """
-        c = self.config.view_size
-        addr_of = self._addr_of
-        vids = self._vids
-        vhops = self._vhops
-        row_of = self._row_of
-        vlen = self._vlen
-        result: Dict[Address, Sequence[NodeDescriptor]] = {}
-        for node_id in self._live:
-            row = row_of[node_id]
-            base = row * c
-            result[addr_of[node_id]] = [
-                NodeDescriptor(addr_of[vids[k]], vhops[k])
-                for k in range(base, base + vlen[row])
-            ]
-        return result
-
-    def dead_link_count(self) -> int:
-        """Total descriptors across all views pointing at dead addresses."""
-        c = self.config.view_size
-        alive = self._alive
-        vids = self._vids
-        row_of = self._row_of
-        vlen = self._vlen
-        count = 0
-        for node_id in self._live:
-            row = row_of[node_id]
-            base = row * c
-            for k in range(base, base + vlen[row]):
-                if not alive[vids[k]]:
-                    count += 1
-        return count
 
     # -- execution ---------------------------------------------------------
 
@@ -690,30 +127,13 @@ class FastCycleEngine(BaseEngine):
         of the cycle (same draws, same order as the reference engine) and
         hands it back through ``setstate`` afterwards.
         """
-        config = self.config
         rng = self.rng
         order = array("q", self._live)
         state_before = rng.getstate()
         state = array("q", state_before[1])
         out = array("q", (0, 0))
         pointer = Accelerator.pointer
-        accel.setup(
-            pointer(self._vids.buffer_info()[0]),
-            pointer(self._vhops.buffer_info()[0]),
-            pointer(self._vlen.buffer_info()[0]),
-            pointer(self._row_of.buffer_info()[0]),
-            Accelerator.byte_pointer(self._alive.buffer_info()[0]),
-            config.view_size,
-            config.healer,
-            config.swapper,
-            int(config.keep_self_descriptors),
-            int(config.push),
-            int(config.pull),
-            _POLICY_CODE[config.peer_selection.value],
-            _POLICY_CODE[config.view_selection.value],
-            int(self.omniscient_peer_selection),
-            int(self.shuffle_each_cycle),
-        )
+        self._accel_setup(accel)
         accel.run_cycle(
             pointer(order.buffer_info()[0]),
             len(order),
@@ -824,135 +244,3 @@ class FastCycleEngine(BaseEngine):
             completed += 1
         self.completed_exchanges += completed
         self.failed_exchanges += failed
-
-    # -- the pure-Python merge path -----------------------------------------
-
-    def _merge_into(
-        self, target: int, r_ids: List[int], r_hops: List[int]
-    ) -> None:
-        """``view <- selectView(merge(received, view))`` for one node.
-
-        Replicates, in index space, the exact pipeline of
-        ``GossipNode.handle_request`` / ``handle_response``: duplicate
-        elimination keeping the lowest hop count with first-seen
-        (received-first) tie order, a stable hop-count sort, the
-        healer/swapper pre-truncation, and the head/rand/tail
-        view-selection policy -- consuming the RNG exactly as the
-        reference engine does.  ``r_hops`` arrive with the receiver-side
-        ``increaseHopCount`` already applied; both input lists are fresh
-        per exchange and are consumed destructively.
-
-        The hot path leans on C-speed primitives: set intersection for
-        duplicate detection (received and own views rarely overlap in
-        more than a couple of addresses), and ``sorted(range(n), key=...)``
-        whose range tie order reproduces the reference merge's stable
-        first-seen ordering exactly.
-        """
-        config = self.config
-        c = config.view_size
-        vids = self._vids
-        vhops = self._vhops
-        row = self._row_of[target]
-        base = row * c
-        ln = self._vlen[row]
-        own_ids = vids[base:base + ln]
-        own_hops = vhops[base:base + ln]
-        if not config.keep_self_descriptors:
-            # The receiver's own address appears at most once in a payload
-            # (sender self-descriptor + duplicate-free view) and never in
-            # its own view; drop it like merge(..., exclude=me) does.
-            if target in r_ids:
-                k = r_ids.index(target)
-                del r_ids[k]
-                del r_hops[k]
-        else:
-            rset0 = set(r_ids)
-            if len(rset0) != len(r_ids):
-                # keep_self payloads can carry the sender's address twice
-                # (fresh self-descriptor + stored copy).  Received hops
-                # are ascending, so keeping the first occurrence keeps
-                # the lowest hop count, as the reference merge does.
-                seen = set()
-                seen_add = seen.add
-                dup_ids = r_ids
-                dup_hops = r_hops
-                r_ids = []
-                r_hops = []
-                for k, a in enumerate(dup_ids):
-                    if a not in seen:
-                        seen_add(a)
-                        r_ids.append(a)
-                        r_hops.append(dup_hops[k])
-        swap_flags = None
-        common = set(r_ids).intersection(own_ids)
-        if common:
-            # Shared addresses: keep the lowest hop count at the received
-            # (first-seen) position; strictly fresher own copies make the
-            # surviving entry own-origin for the swapper policy.  The
-            # intersection of two partial views is almost always tiny, so
-            # this is the only per-element interpreted loop on the path.
-            if config.swapper:
-                swap_flags = bytearray(len(r_ids))
-            drop_idx = []
-            for a in common:
-                k = own_ids.index(a)
-                drop_idx.append(k)
-                h = own_hops[k]
-                pos = r_ids.index(a)
-                if h < r_hops[pos]:
-                    r_hops[pos] = h
-                    if swap_flags is not None:
-                        swap_flags[pos] = 1
-            drop_idx.sort(reverse=True)
-            for k in drop_idx:
-                del own_ids[k]
-                del own_hops[k]
-        n_r = len(r_ids)
-        cids = r_ids
-        cids += own_ids  # destructive extend: the payload is owned here
-        chops = r_hops
-        chops += own_hops
-        n = len(cids)
-        # stable hop-count sort; range order is the first-seen tie order.
-        order = sorted(range(n), key=chops.__getitem__)
-        m = n
-        # healer/swapper pre-truncation (no-ops when H = S = 0).
-        if m > c and (config.healer or config.swapper):
-            surplus = m - c
-            healer = config.healer
-            if healer:
-                drop = healer if healer < surplus else surplus
-                del order[m - drop:]
-                m -= drop
-                surplus -= drop
-            if surplus > 0 and config.swapper:
-                to_drop = config.swapper if config.swapper < surplus else surplus
-                kept = []
-                for q in order:
-                    if to_drop and (
-                        q >= n_r
-                        or (swap_flags is not None and swap_flags[q])
-                    ):
-                        to_drop -= 1
-                    else:
-                        kept.append(q)
-                order = kept
-                m = len(order)
-        # view-selection truncation.
-        if m > c:
-            view_sel = config.view_selection
-            if view_sel is ViewSelection.HEAD:
-                del order[c:]
-            elif view_sel is ViewSelection.TAIL:
-                del order[:m - c]
-            else:
-                # RAND: same draws as sample(list, c); the stable re-sort
-                # by hop count keeps the sample order on ties, like
-                # select_rand's chosen.sort(key=hop_count).
-                picked = self.rng.sample(range(m), c)
-                picked.sort(key=lambda q: chops[order[q]])
-                order = [order[q] for q in picked]
-            m = c
-        vids[base:base + m] = array("q", map(cids.__getitem__, order))
-        vhops[base:base + m] = array("q", map(chops.__getitem__, order))
-        self._vlen[row] = m

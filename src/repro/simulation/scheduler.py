@@ -1,7 +1,34 @@
-"""A minimal discrete-event scheduler (priority queue of timed events).
+"""Discrete-event schedulers for the event-driven engines.
 
-Used by the event-driven engine.  Ties in time are broken by insertion
-order, which keeps runs deterministic.
+Two implementations of the same idea -- a priority queue of timed events
+with FIFO tie-breaking -- at two levels of the speed/convenience
+trade-off:
+
+- :class:`EventScheduler`: a ``(float, counter, object)`` tuple heap.
+  Convenient (events are arbitrary objects, times are seconds) and used
+  by the object-per-node :class:`~repro.simulation.event_engine.EventEngine`.
+- :class:`TickScheduler`: an integer-*tick* heap of packed ``int`` keys,
+  used by the array-backed
+  :class:`~repro.simulation.fast_event.FastEventEngine` hot path.  No
+  per-event tuple or wrapper object is allocated: one Python integer
+  carries the firing tick, the FIFO sequence number and an opaque data
+  word, and ``heapq`` ordering falls out of plain integer comparison.
+
+Float-time discipline
+---------------------
+
+Repeatedly accumulating ``now + delay`` in floating point drifts: after a
+million periods of ``0.1`` the clock is off by many ULPs and -- worse --
+two logically simultaneous recurring events can land in different order
+on different runs.  Callers with periodic work should therefore derive
+absolute times from an *integer event sequence* (``phase + k * period``
+for the ``k``-th occurrence, one multiplication from an exact integer)
+and use :meth:`EventScheduler.schedule_at`, rather than chaining relative
+:meth:`EventScheduler.schedule` calls.  ``EventEngine`` does exactly that
+for its gossip timers and cycle boundaries; ``TickScheduler`` sidesteps
+the problem entirely by keeping time in exact integer ticks.  In both
+schedulers the clock is monotone: ``now`` never goes backwards (pinned by
+a regression test over 10^6 mixed operations).
 """
 
 from __future__ import annotations
@@ -30,7 +57,12 @@ class EventScheduler:
         return len(self._heap)
 
     def schedule(self, delay: float, event: Any) -> None:
-        """Enqueue ``event`` to fire ``delay`` time units from now."""
+        """Enqueue ``event`` to fire ``delay`` time units from now.
+
+        For *recurring* events, prefer :meth:`schedule_at` with an
+        absolute time derived from the occurrence index (see the module
+        docstring): chained relative delays accumulate float error.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         heapq.heappush(self._heap, (self.now + delay, next(self._counter), event))
@@ -54,3 +86,80 @@ class EventScheduler:
         time, _, event = heapq.heappop(self._heap)
         self.now = time
         return event
+
+
+class TickScheduler:
+    """Integer-tick event queue over a binary heap of packed ``int`` keys.
+
+    Each entry is a single Python integer laying out, from the most
+    significant bits down::
+
+        | tick | seq (SEQ_BITS) | data (data_bits) |
+
+    so that ordinary integer comparison orders entries by ``(tick, seq)``
+    -- firing tick first, then FIFO insertion order -- and the low
+    ``data_bits`` ride along without ever influencing the order (the
+    ``(tick, seq)`` prefix is unique).  ``data`` is an opaque caller
+    payload; the fast event engine packs an event kind and a node id or
+    message-slot index into it, so the whole queue is allocation-free
+    apart from the heap list itself.
+
+    Ticks are exact integers: no float accumulation, no drift, and the
+    clock (:attr:`now_tick`) is trivially monotone.  Callers map wall
+    time onto ticks (e.g. ``ticks_per_period`` in the fast event engine).
+    """
+
+    SEQ_BITS = 40
+    """FIFO sequence width: up to ~10^12 events per scheduler lifetime,
+    far beyond any simulated run (a 10^5-node, 10^3-cycle run emits
+    ~3x10^8 events)."""
+
+    __slots__ = ("_heap", "_seq", "_data_bits", "_data_mask", "_seq_shift",
+                 "_tick_shift", "now_tick")
+
+    def __init__(self, data_bits: int = 28) -> None:
+        if data_bits < 1:
+            raise SimulationError(f"data_bits must be >= 1, got {data_bits}")
+        self._heap: List[int] = []
+        self._seq = 0
+        self._data_bits = data_bits
+        self._data_mask = (1 << data_bits) - 1
+        self._seq_shift = data_bits
+        self._tick_shift = data_bits + self.SEQ_BITS
+        self.now_tick = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, tick: int, data: int) -> None:
+        """Enqueue ``data`` to fire at absolute ``tick``."""
+        if tick < self.now_tick:
+            raise SimulationError(
+                f"cannot schedule at tick {tick}, current tick is "
+                f"{self.now_tick}"
+            )
+        if data < 0 or data > self._data_mask:
+            raise SimulationError(
+                f"data {data} does not fit in {self._data_bits} bits"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (tick << self._tick_shift) | (seq << self._seq_shift) | data,
+        )
+
+    def peek_tick(self) -> Optional[int]:
+        """The firing tick of the next entry, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0] >> self._tick_shift
+
+    def pop(self) -> Tuple[int, int]:
+        """Remove and return ``(tick, data)``, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("pop from an empty scheduler")
+        key = heapq.heappop(self._heap)
+        tick = key >> self._tick_shift
+        self.now_tick = tick
+        return tick, key & self._data_mask

@@ -18,7 +18,9 @@ from repro.experiments.common import (
 )
 from repro.net.engine import LiveEngine
 from repro.simulation.engine import CycleEngine
+from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
+from repro.simulation.fast_event import FastEventEngine
 
 
 class TestScales:
@@ -111,6 +113,8 @@ class TestEngineSelection:
             "cycle": CycleEngine,
             "fast": FastCycleEngine,
             "live": LiveEngine,
+            "event": EventEngine,
+            "fast-event": FastEventEngine,
         }
 
     def test_default_is_cycle(self, monkeypatch):
@@ -197,3 +201,97 @@ class TestEngineSelection:
         engine = converged_engine(newscast(6), scale, seed=0, engine="fast")
         assert isinstance(engine, FastCycleEngine)
         assert engine.cycle == 3
+
+    def test_event_engines_reproduce_identical_overlays(self):
+        # The event-family counterpart of the registry guarantee.
+        from repro.core.config import newscast
+        from repro.simulation.scenarios import random_bootstrap
+
+        views = []
+        for name in ("event", "fast-event"):
+            engine = make_engine(
+                newscast(6), seed=9, engine=name, latency=0.1, loss=0.05
+            )
+            random_bootstrap(engine, 40)
+            engine.run(10)
+            views.append(
+                {
+                    a: tuple((d.address, d.hop_count) for d in v)
+                    for a, v in engine.views().items()
+                }
+            )
+        assert views[0] == views[1]
+
+
+class TestLatencyLossKnobs:
+    def test_latency_and_loss_forwarded_to_event_engines(self):
+        from repro.core.config import newscast
+
+        engine = make_engine(
+            newscast(6), seed=1, engine="fast-event", latency=0.25, loss=0.1
+        )
+        assert isinstance(engine, FastEventEngine)
+        assert engine.latency.delay == pytest.approx(0.25)
+        assert engine.loss.probability == pytest.approx(0.1)
+
+    def test_env_var_fallbacks(self, monkeypatch):
+        from repro.core.config import newscast
+
+        monkeypatch.setenv("REPRO_LATENCY", "0.3")
+        monkeypatch.setenv("REPRO_LOSS", "0.05")
+        engine = make_engine(newscast(6), seed=1, engine="event")
+        assert engine.latency.delay == pytest.approx(0.3)
+        assert engine.loss.probability == pytest.approx(0.05)
+
+    def test_rejected_for_cycle_engines(self):
+        from repro.core.config import newscast
+
+        with pytest.raises(ConfigurationError) as error:
+            make_engine(newscast(6), seed=1, engine="fast", latency=0.1)
+        assert "event-driven" in str(error.value)
+
+    def test_env_var_rejected_for_cycle_engines(self, monkeypatch):
+        from repro.core.config import newscast
+
+        monkeypatch.setenv("REPRO_LOSS", "0.05")
+        with pytest.raises(ConfigurationError):
+            make_engine(newscast(6), seed=1, engine="cycle")
+
+    def test_malformed_env_var_rejected(self, monkeypatch):
+        from repro.core.config import newscast
+
+        monkeypatch.setenv("REPRO_LATENCY", "soon")
+        with pytest.raises(ConfigurationError) as error:
+            make_engine(newscast(6), seed=1, engine="event")
+        assert "REPRO_LATENCY" in str(error.value)
+
+    def test_model_instances_accepted(self):
+        # Ready-made models pass straight through instead of crashing
+        # inside the constant-latency wrapper.
+        from repro.core.config import newscast
+        from repro.simulation.network import NoLoss, UniformLatency
+
+        engine = make_engine(
+            newscast(6),
+            seed=1,
+            engine="event",
+            latency=UniformLatency(0.1, 0.2),
+            loss=NoLoss(),
+        )
+        assert isinstance(engine.latency, UniformLatency)
+        assert isinstance(engine.loss, NoLoss)
+
+    def test_non_numeric_knob_rejected_cleanly(self):
+        from repro.core.config import newscast
+
+        with pytest.raises(ConfigurationError) as error:
+            make_engine(newscast(6), seed=1, engine="event", latency="fast")
+        assert "latency" in str(error.value)
+
+    def test_unknown_engine_error_lists_full_registry(self):
+        from repro.experiments.common import resolve_engine_name
+
+        with pytest.raises(ConfigurationError) as error:
+            resolve_engine_name("warp")
+        for name in ENGINES:
+            assert name in str(error.value)

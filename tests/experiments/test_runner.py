@@ -27,6 +27,30 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_latency_loss_options(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "figure2",
+                "--engine",
+                "fast-event",
+                "--latency",
+                "0.2",
+                "--loss",
+                "0.01",
+            ]
+        )
+        assert args.engine == "fast-event"
+        assert args.latency == pytest.approx(0.2)
+        assert args.loss == pytest.approx(0.01)
+
+    def test_event_engines_selectable(self):
+        for name in ("event", "fast-event"):
+            args = build_parser().parse_args(
+                ["run", "table1", "--engine", name]
+            )
+            assert args.engine == name
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
@@ -47,3 +71,71 @@ class TestMain:
     def test_unknown_experiment_returns_error(self, capsys):
         assert main(["run", "figure99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bad_repro_engine_env_fails_eagerly(self, capsys, monkeypatch):
+        # A typo'd $REPRO_ENGINE must fail before any experiment starts,
+        # with the full registry listing in the message.
+        monkeypatch.setenv("REPRO_ENGINE", "warpdrive")
+        assert main(["run", "table1"]) == 2
+        err = capsys.readouterr().err
+        assert "warpdrive" in err
+        for name in ("cycle", "fast", "live", "event", "fast-event"):
+            assert name in err
+
+    def test_latency_rejected_for_cycle_engine(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert main(["run", "table1", "--latency", "0.2"]) == 2
+        err = capsys.readouterr().err
+        assert "--latency" in err
+        assert "event" in err
+
+    def test_loss_rejected_for_explicit_cycle_engine(self, capsys):
+        assert (
+            main(["run", "table1", "--engine", "fast", "--loss", "0.1"]) == 2
+        )
+        assert "--loss" in capsys.readouterr().err
+
+    def test_env_knob_rejected_for_cycle_engine(self, capsys, monkeypatch):
+        # The $REPRO_LOSS fallback must hit the same eager validation as
+        # the CLI flag -- a clean exit 2, not a traceback mid-experiment.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        monkeypatch.setenv("REPRO_LOSS", "0.1")
+        assert main(["run", "table1"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_LOSS" in err
+        assert "event" in err
+
+    def test_malformed_env_knob_fails_eagerly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast-event")
+        monkeypatch.setenv("REPRO_LATENCY", "soon")
+        assert main(["run", "table1"]) == 2
+        assert "REPRO_LATENCY" in capsys.readouterr().err
+
+    def test_nan_latency_rejected_eagerly(self, capsys):
+        # NaN slips through a bare `< 0` check and would schedule every
+        # message at time NaN -- a silently empty but exit-0 report.
+        assert (
+            main(
+                ["run", "table1", "--engine", "event", "--latency", "nan"]
+            )
+            == 2
+        )
+        assert "finite" in capsys.readouterr().err
+
+    def test_negative_latency_rejected_eagerly(self, capsys):
+        assert (
+            main(
+                ["run", "table1", "--engine", "event", "--latency", "-0.5"]
+            )
+            == 2
+        )
+        assert "latency" in capsys.readouterr().err
+
+    def test_out_of_range_loss_rejected_eagerly(self, capsys):
+        assert (
+            main(
+                ["run", "table1", "--engine", "fast-event", "--loss", "1.5"]
+            )
+            == 2
+        )
+        assert "loss" in capsys.readouterr().err

@@ -103,6 +103,41 @@ class TestExecution:
         assert engine.completed_exchanges == 0
         assert engine.messages_lost > 0
 
+    def test_incremental_runs_match_one_shot(self):
+        # N run_cycle() calls must end at exactly N * period -- with a
+        # non-binary period, a float-accumulated horizon falls short of
+        # the Nth boundary and silently drops its observers.
+        def fingerprint(step):
+            engine = make_engine(seed=4, period=0.1)
+            random_bootstrap(engine, 12)
+            if step:
+                for _ in range(10):
+                    engine.run_cycle()
+            else:
+                engine.run(10)
+            return (
+                engine.cycle,
+                {
+                    a: tuple((d.address, d.hop_count) for d in view)
+                    for a, view in engine.views().items()
+                },
+            )
+
+        stepped = fingerprint(True)
+        assert stepped[0] == 10
+        assert stepped == fingerprint(False)
+
+    def test_chained_run_time_reaches_boundaries(self):
+        # ten run_time(0.1) calls must fire the cycle-1 boundary exactly
+        # like one run_time(1.0): the horizon accumulates on an integer
+        # grid, not as a drifting float sum.
+        engine = make_engine(seed=4)
+        random_bootstrap(engine, 8)
+        for _ in range(10):
+            engine.run_time(0.1)
+        assert engine.cycle == 1
+        assert engine.now == pytest.approx(1.0)
+
     def test_observers_fire_once_per_period(self):
         ticks = []
 

@@ -48,10 +48,11 @@ class TestConstruction:
         assert engine.accelerated
 
     def test_accelerate_true_without_compiler_raises(self, monkeypatch):
-        import repro.simulation.fast as fast_module
+        # The accelerator is loaded by the shared flat-array kernel base.
+        import repro.simulation.arrayviews as kernel_module
 
         monkeypatch.setattr(
-            fast_module, "load_accelerator", lambda: None
+            kernel_module, "load_accelerator", lambda: None
         )
         with pytest.raises(ConfigurationError):
             make_engine(accelerate=True)

@@ -1,9 +1,11 @@
-"""Unit tests for the discrete-event scheduler."""
+"""Unit tests for the discrete-event schedulers."""
+
+import random
 
 import pytest
 
 from repro.core.errors import SimulationError
-from repro.simulation.scheduler import EventScheduler
+from repro.simulation.scheduler import EventScheduler, TickScheduler
 
 
 class TestEventScheduler:
@@ -65,3 +67,107 @@ class TestEventScheduler:
         assert len(scheduler) == 0
         scheduler.schedule(1.0, "x")
         assert len(scheduler) == 1
+
+    def test_now_never_goes_backwards_over_mixed_operations(self):
+        # Drift regression (10^6 mixed schedule/schedule_at/pop ops): the
+        # clock must be monotone even when relative delays are awkward
+        # binary fractions (0.1 accumulates error) and absolute times are
+        # derived from an integer event sequence, interleaved arbitrarily.
+        rng = random.Random(1234)
+        scheduler = EventScheduler()
+        period = 0.1
+        sequence_index = 0
+        last_now = scheduler.now
+        operations = 0
+        while operations < 1_000_000:
+            batch = rng.randrange(1, 8)
+            for _ in range(batch):
+                if rng.random() < 0.5:
+                    scheduler.schedule(rng.random() * period, "rel")
+                else:
+                    sequence_index += 1
+                    scheduler.schedule_at(
+                        scheduler.now + sequence_index * period * 1e-6,
+                        "abs",
+                    )
+                operations += 1
+            pops = rng.randrange(1, batch + 1)
+            for _ in range(pops):
+                if not len(scheduler):
+                    break
+                scheduler.pop()
+                assert scheduler.now >= last_now
+                last_now = scheduler.now
+                operations += 1
+        # drain: the tail must stay monotone too
+        while len(scheduler):
+            scheduler.pop()
+            assert scheduler.now >= last_now
+            last_now = scheduler.now
+
+
+class TestTickScheduler:
+    def test_pop_in_tick_order(self):
+        scheduler = TickScheduler()
+        scheduler.push(30, 1)
+        scheduler.push(10, 2)
+        scheduler.push(20, 3)
+        assert [scheduler.pop() for _ in range(3)] == [
+            (10, 2),
+            (20, 3),
+            (30, 1),
+        ]
+
+    def test_fifo_among_simultaneous_entries(self):
+        scheduler = TickScheduler()
+        for data in (7, 8, 9):
+            scheduler.push(5, data)
+        assert [scheduler.pop()[1] for _ in range(3)] == [7, 8, 9]
+
+    def test_pop_advances_clock(self):
+        scheduler = TickScheduler()
+        scheduler.push(42, 0)
+        scheduler.pop()
+        assert scheduler.now_tick == 42
+
+    def test_now_tick_is_monotone(self):
+        rng = random.Random(7)
+        scheduler = TickScheduler()
+        last = 0
+        for _ in range(5_000):
+            for _ in range(rng.randrange(1, 4)):
+                scheduler.push(
+                    scheduler.now_tick + rng.randrange(0, 1 << 30),
+                    rng.randrange(1 << 28),
+                )
+            tick, _ = scheduler.pop()
+            assert tick >= last
+            assert scheduler.now_tick == tick
+            last = tick
+
+    def test_data_survives_large_ticks(self):
+        # Ticks far beyond 64 bits of packed key still round-trip.
+        scheduler = TickScheduler()
+        tick = (1 << 50) + 123
+        scheduler.push(tick, (1 << 28) - 1)
+        assert scheduler.peek_tick() == tick
+        assert scheduler.pop() == (tick, (1 << 28) - 1)
+
+    def test_push_into_past_rejected(self):
+        scheduler = TickScheduler()
+        scheduler.push(10, 0)
+        scheduler.pop()
+        with pytest.raises(SimulationError):
+            scheduler.push(9, 0)
+
+    def test_data_out_of_range_rejected(self):
+        scheduler = TickScheduler(data_bits=4)
+        with pytest.raises(SimulationError):
+            scheduler.push(0, 16)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            TickScheduler().pop()
+
+    def test_peek_empty_returns_none(self):
+        assert TickScheduler().peek_tick() is None
