@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Healer/swapper (H/S) mini-sweep, expressed as one ExperimentPlan.
+
+The TOCS 2007 formalization of the peer sampling service adds two knobs
+to the Middleware 2004 protocol: *healer* ``H`` (drop up to H of the
+oldest descriptors before truncation -- faster dead-link removal) and
+*swapper* ``S`` (drop up to S of the entries just sent to the exchange
+partner -- less duplication).  ``ProtocolConfig`` carries both (the
+paper's protocol is ``H = S = 0``), and protocol labels encode them as a
+``;H<h>S<s>`` suffix -- which makes an H/S sweep a plain
+:class:`~repro.workloads.plan.ExperimentPlan` over labels.
+
+The workload is the self-healing scenario of Figure 7: converge, crash
+half the network, watch the dead links drain.  Expected trade-off: more
+healer -> faster dead-link decay; more swapper -> slower decay but less
+view duplication (the TOCS trade-off curves in miniature).
+
+Run with::
+
+    python examples/hs_sweep.py [n_nodes] [seed]
+"""
+
+import sys
+
+from repro.experiments.reporting import format_table
+from repro.workloads import (
+    CatastrophicFailure,
+    ExperimentPlan,
+    ScenarioSpec,
+    run_plan,
+)
+
+CONVERGE_CYCLES = 30
+HEAL_CYCLES = 30
+
+HS_POINTS = ((0, 0), (1, 0), (3, 0), (0, 1), (0, 3), (2, 2))
+"""The (H, S) corners swept, around the paper's (0, 0)."""
+
+BASE = "(rand,rand,pushpull)"
+"""rand view selection: the slowest self-healer of Figure 7, where the
+healer parameter makes the most visible difference."""
+
+
+def build_plan(n_nodes: int, seed: int) -> ExperimentPlan:
+    """The whole sweep as one declarative, serializable plan."""
+    scenario = ScenarioSpec(
+        name="hs-self-healing",
+        bootstrap="random",
+        cycles=CONVERGE_CYCLES + HEAL_CYCLES,
+        events=(
+            CatastrophicFailure(at_cycle=CONVERGE_CYCLES, fraction=0.5),
+        ),
+        description="converge, crash 50%, heal (Figure 7 workload)",
+    )
+    return ExperimentPlan(
+        name="hs-sweep",
+        scenario=scenario,
+        protocols=tuple(
+            BASE if (h, s) == (0, 0) else f"{BASE};H{h}S{s}"
+            for h, s in HS_POINTS
+        ),
+        scales=("quick",),
+        engines=("fast",),
+        seeds=(seed,),
+        n_nodes=n_nodes,
+        measurements=("dead-links", "view-sizes"),
+    )
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    plan = build_plan(n_nodes, seed)
+    print(
+        f"H/S sweep over {BASE}: {len(plan.protocols)} points, "
+        f"N={n_nodes}, crash at cycle {CONVERGE_CYCLES}, "
+        f"{HEAL_CYCLES} healing cycles\n"
+    )
+    result = run_plan(plan)
+
+    checkpoints = (1, 5, 10, 20, HEAL_CYCLES)
+    headers = ["protocol", "dead@c+1"] + [
+        f"c+{c}" for c in checkpoints
+    ] + ["half-life"]
+    rows = []
+    for record in result.records:
+        series = record.measurements["dead-links"]
+        healing = {
+            cycle - CONVERGE_CYCLES: dead
+            for cycle, dead in zip(series["cycles"], series["dead_links"])
+            if cycle > CONVERGE_CYCLES
+        }
+        initial = healing[min(healing)] if healing else 0
+        half_life = next(
+            (c for c in sorted(healing) if healing[c] <= initial / 2),
+            None,
+        )
+        rows.append(
+            [record.protocol, initial]
+            + [healing.get(c, 0) for c in checkpoints]
+            + [half_life if half_life is not None else "never"]
+        )
+    print(
+        format_table(
+            headers,
+            rows,
+            title="dead links after the 50% crash (lower/faster = better "
+            "healing)",
+        )
+    )
+    print(
+        "\nmore healer (H) drains dead links faster; swapper (S) alone"
+        "\nbarely heals -- the TOCS trade-off on top of the paper's"
+        "\n(rand,rand,pushpull) baseline.  The whole study above is one"
+        "\nserializable ExperimentPlan: build_plan(...).to_json()"
+    )
+
+
+if __name__ == "__main__":
+    main()

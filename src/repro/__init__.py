@@ -28,6 +28,11 @@ The package provides:
 - :mod:`repro.net` -- the deployment layer: asyncio UDP daemons running the
   service as real networked processes (``repro-node`` CLI, local-cluster
   harness, deterministic loopback transport, the ``live`` engine).
+- :mod:`repro.workloads` -- the declarative workload API: serializable
+  :class:`~repro.workloads.spec.ScenarioSpec` /
+  :class:`~repro.workloads.plan.ExperimentPlan` documents compiled onto
+  any engine (``repro-experiments run-spec``), the layer every artefact
+  module builds its runs through.
 
 Quickstart::
 
@@ -39,6 +44,16 @@ Quickstart::
     engine.run(cycles=50)
     service = engine.service(engine.addresses()[0])
     print(service.get_peer())
+
+or declaratively, on any engine of the registry::
+
+    from repro import ScenarioSpec, newscast, prepare_run
+
+    runtime = prepare_run(
+        ScenarioSpec(bootstrap="random", cycles=50),
+        newscast(view_size=30), n_nodes=1000, seed=42, engine="fast",
+    )
+    runtime.run_to_end()
 """
 
 from repro.core.config import (
@@ -57,14 +72,21 @@ from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
 from repro.simulation.fast_event import FastEventEngine
+from repro.workloads import (
+    ExperimentPlan,
+    ScenarioSpec,
+    prepare_run,
+    run_plan,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALL_PROTOCOLS",
     "STUDIED_PROTOCOLS",
     "CycleEngine",
     "EventEngine",
+    "ExperimentPlan",
     "FastCycleEngine",
     "FastEventEngine",
     "GossipNode",
@@ -74,8 +96,11 @@ __all__ = [
     "PeerSelection",
     "Propagation",
     "ProtocolConfig",
+    "ScenarioSpec",
     "lpbcast",
     "newscast",
+    "prepare_run",
+    "run_plan",
     "ViewSelection",
     "__version__",
 ]

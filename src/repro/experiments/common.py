@@ -380,13 +380,20 @@ def converged_engine(
     """An engine bootstrapped randomly and run for ``scale.cycles`` cycles.
 
     This is the "converged overlay in cycle 300 of the random
-    initialization scenario" that Sections 6 and 7 start from.  The engine
-    implementation is selected by ``engine`` / ``$REPRO_ENGINE`` (default
-    ``cycle``); both produce the same overlay for the same seed.
+    initialization scenario" that Sections 6 and 7 start from.  A thin
+    shim over the declarative workload API: the run executes the
+    ``random-convergence`` scenario through
+    :func:`repro.workloads.prepare_run` on the engine selected by
+    ``engine`` / ``$REPRO_ENGINE`` (same overlay for the same seed on
+    every cycle-family engine).
     """
-    from repro.simulation.scenarios import random_bootstrap
+    from repro.workloads import named_scenario, prepare_run
 
-    instance = make_engine(config, seed=seed, engine=engine, scale=scale)
-    random_bootstrap(instance, n_nodes=scale.n_nodes)
-    instance.run(scale.cycles)
-    return instance
+    runtime = prepare_run(
+        named_scenario("random-convergence", scale),
+        config,
+        scale=scale,
+        seed=seed,
+        engine=engine,
+    )
+    return runtime.run_to_end()

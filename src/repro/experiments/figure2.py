@@ -25,11 +25,10 @@ from repro.experiments.common import (
     Scale,
     current_scale,
     growing_plot_protocols,
-    make_engine,
 )
 from repro.experiments.reporting import format_series
-from repro.simulation.scenarios import start_growing
 from repro.simulation.trace import MetricsRecorder
+from repro.workloads import named_scenario, prepare_run
 
 
 @dataclasses.dataclass(frozen=True)
@@ -54,16 +53,20 @@ class Figure2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> MetricSeries:
-    engine = make_engine(config, seed=seed, scale=scale)
-    start_growing(engine, scale.n_nodes, scale.growth_rate)
+    runtime = prepare_run(
+        named_scenario("growing-overlay", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
     recorder = MetricsRecorder(
         every=scale.metrics_every,
         clustering_sample=scale.clustering_sample,
         path_sources=scale.path_sources,
         record_initial=False,
     )
-    engine.add_observer(recorder)
-    engine.run(scale.cycles)
+    runtime.add_observer(recorder)
+    runtime.run_to_end()
     return MetricSeries(
         label=config.label,
         cycles=recorder.cycles,

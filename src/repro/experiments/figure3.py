@@ -24,17 +24,15 @@ from repro.baselines.random_topology import random_baseline_metrics
 from repro.experiments.common import (
     Scale,
     current_scale,
-    make_engine,
     studied_protocols,
 )
 from repro.experiments.figure2 import MetricSeries
 from repro.experiments.reporting import format_series
-from repro.simulation.base import BaseEngine
-from repro.simulation.scenarios import lattice_bootstrap, random_bootstrap
 from repro.simulation.trace import MetricsRecorder
+from repro.workloads import ScenarioSpec, prepare_run
 
 SCENARIOS = ("lattice", "random")
-"""The two initializations of Figure 3."""
+"""The two initializations of Figure 3 (spec bootstrap kinds)."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,26 +45,24 @@ class Figure3Result:
     baseline: Dict[str, float]
 
 
-def _bootstrap(engine: BaseEngine, scenario: str, n_nodes: int) -> None:
-    if scenario == "lattice":
-        lattice_bootstrap(engine, n_nodes)
-    else:
-        random_bootstrap(engine, n_nodes)
-
-
 def _run_one(config, scenario: str, scale: Scale, seed: int) -> MetricSeries:
-    engine = make_engine(config, seed=seed, scale=scale)
-    _bootstrap(engine, scenario, scale.n_nodes)
+    runtime = prepare_run(
+        ScenarioSpec(name=f"{scenario}-convergence", bootstrap=scenario),
+        config,
+        scale=scale,
+        seed=seed,
+        # The paper ran 300 cycles but plots the first 100 (the
+        # interesting transient); we mirror that 1/3 proportion.
+        cycles=max(scale.cycles // 3, 3 * scale.metrics_every),
+    )
     recorder = MetricsRecorder(
         every=scale.metrics_every,
         clustering_sample=scale.clustering_sample,
         path_sources=scale.path_sources,
         record_initial=True,
     )
-    engine.add_observer(recorder)
-    # The paper ran 300 cycles but plots the first 100 (the interesting
-    # transient); we mirror that 1/3 proportion.
-    engine.run(max(scale.cycles // 3, 3 * scale.metrics_every))
+    runtime.add_observer(recorder)
+    runtime.run_to_end()
     return MetricSeries(
         label=config.label,
         cycles=recorder.cycles,

@@ -27,12 +27,11 @@ import numpy as np
 from repro.experiments.common import (
     Scale,
     current_scale,
-    make_engine,
     studied_protocols,
 )
 from repro.experiments.reporting import format_table
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.scenarios import random_bootstrap
+from repro.workloads import named_scenario, prepare_run
 from repro.stats.distributions import (
     distribution_span,
     histogram_dict,
@@ -80,12 +79,16 @@ def _summarize(cycle: int, degrees: np.ndarray) -> DegreeSnapshot:
 
 
 def _run_one(config, scale: Scale, checkpoints: List[int], seed: int):
-    engine = make_engine(config, seed=seed, scale=scale)
-    random_bootstrap(engine, n_nodes=scale.n_nodes)
+    runtime = prepare_run(
+        named_scenario("random-convergence", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
     result: List[DegreeSnapshot] = []
     for checkpoint in checkpoints:
-        engine.run(checkpoint - engine.cycle)
-        degrees = GraphSnapshot.from_engine(engine).degrees()
+        runtime.run_to_cycle(checkpoint)
+        degrees = GraphSnapshot.from_engine(runtime.engine).degrees()
         result.append(_summarize(checkpoint, degrees))
     return result
 

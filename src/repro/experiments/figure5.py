@@ -29,12 +29,11 @@ from repro.experiments.common import (
     Scale,
     autocorrelation_protocols,
     current_scale,
-    make_engine,
 )
 from repro.experiments.reporting import format_series
-from repro.simulation.scenarios import random_bootstrap
 from repro.simulation.trace import DegreeTracer
 from repro.stats.autocorrelation import autocorrelation, confidence_band
+from repro.workloads import named_scenario, prepare_run
 
 
 @dataclasses.dataclass(frozen=True)
@@ -53,11 +52,17 @@ class Figure5Result:
 
 
 def _run_one(config, scale: Scale, max_lag: int, seed: int) -> np.ndarray:
-    engine = make_engine(config, seed=seed, scale=scale)
-    addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
-    tracer = DegreeTracer(addresses[: scale.traced_nodes])
-    engine.add_observer(tracer)
-    engine.run(scale.cycles)
+    runtime = prepare_run(
+        named_scenario("random-convergence", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
+    tracer = DegreeTracer(
+        runtime.bootstrap_addresses[: scale.traced_nodes]
+    )
+    runtime.add_observer(tracer)
+    runtime.run_to_end()
     curves = [
         autocorrelation(series, max_lag) for series in tracer.matrix()
     ]

@@ -22,12 +22,17 @@ from typing import List, Optional, Sequence
 
 from repro.experiments.common import (
     Scale,
-    converged_engine,
     current_scale,
     studied_protocols,
 )
 from repro.experiments.reporting import format_series, format_table
-from repro.simulation.churn import massive_failure
+from repro.simulation.trace import DeadLinkCensus
+from repro.workloads import (
+    CatastrophicFailure,
+    FailureHandle,
+    ScenarioSpec,
+    prepare_run,
+)
 
 FAILURE_FRACTION = 0.5
 """The paper's failure size: 50% of all nodes."""
@@ -71,20 +76,31 @@ class Figure7Result:
 
 
 def _run_one(config, scale: Scale, healing_cycles: int, seed: int) -> HealingSeries:
-    engine = converged_engine(config, scale, seed)
-    massive_failure(engine, FAILURE_FRACTION)
-    initial = engine.dead_link_count()
-    cycles: List[int] = []
-    dead: List[int] = []
-    for cycle in range(1, healing_cycles + 1):
-        engine.run_cycle()
-        cycles.append(cycle)
-        dead.append(engine.dead_link_count())
+    spec = ScenarioSpec(
+        name="catastrophic-failure",
+        bootstrap="random",
+        cycles=scale.cycles + healing_cycles,
+        events=(
+            CatastrophicFailure(
+                at_cycle=scale.cycles, fraction=FAILURE_FRACTION
+            ),
+        ),
+    )
+    runtime = prepare_run(spec, config, scale=scale, seed=seed)
+    # Converge, then attach the census so only the healing window pays
+    # for per-cycle dead-link scans; the failure event itself fires at
+    # the start of the first post-convergence cycle and captures the
+    # pre-healing count.
+    runtime.run_to_cycle(scale.cycles)
+    census = DeadLinkCensus(every=1)
+    runtime.add_observer(census)
+    runtime.run_to_end()
+    initial = runtime.handle(FailureHandle).dead_links_after
     return HealingSeries(
         label=config.label,
-        cycles=cycles,
-        dead_links=dead,
-        initial_dead_links=initial,
+        cycles=[cycle - scale.cycles for cycle in census.cycles],
+        dead_links=list(census.dead_links),
+        initial_dead_links=initial if initial is not None else 0,
     )
 
 

@@ -3,10 +3,12 @@
 Usage::
 
     repro-experiments list
+    repro-experiments list-scenarios
     repro-experiments run table1 --scale quick
     repro-experiments run all --scale full --seed 7
     repro-experiments run figure7 --engine fast
     repro-experiments run figure7 --engine fast-event --latency 0.1 --loss 0.01
+    repro-experiments run-spec my_study.json --out results.json
     python -m repro.experiments.runner run figure7
 
 ``--scale`` overrides the ``REPRO_SCALE`` environment variable; ``full``
@@ -18,6 +20,18 @@ execution model; only those engines accept ``--latency`` / ``--loss``
 (constant per-message delay in gossip periods, Bernoulli drop
 probability), and the selection -- including ``$REPRO_ENGINE`` -- is
 validated eagerly before any experiment starts.
+
+``run-spec`` executes a declarative workload document
+(:mod:`repro.workloads`): either a full
+:class:`~repro.workloads.plan.ExperimentPlan` (``protocols x scenario x
+scales x engines x seeds``) or a bare
+:class:`~repro.workloads.spec.ScenarioSpec`, which is wrapped into a
+single-cell plan parameterized by the same ``--scale`` / ``--engine`` /
+``--seed`` flags the artefact runner takes.  The document is validated
+eagerly -- unknown event kinds, engines, scales or out-of-range
+parameters exit 2 before any simulation starts -- and ``--out`` writes
+the machine-readable records (final-overlay digests plus measurement
+series) as JSON.
 """
 
 from __future__ import annotations
@@ -94,11 +108,131 @@ def run_experiment(
 
 
 def _cmd_list() -> int:
+    from repro.workloads import MEASUREMENTS, SCENARIOS
+    from repro.workloads.spec import BOOTSTRAP_KINDS, EVENT_KINDS
+
     print("available experiments (paper artefacts):")
     for experiment_id in EXPERIMENT_IDS:
         print(f"  {experiment_id:10s} {_DESCRIPTIONS[experiment_id]}")
     print(f"\nscales: {', '.join(SCALES)} (select with --scale or $REPRO_SCALE)")
     print(f"engines: {', '.join(ENGINES)} (select with --engine or $REPRO_ENGINE)")
+    print(
+        f"scenarios: {', '.join(SCENARIOS)} "
+        "(details: repro-experiments list-scenarios)"
+    )
+    print(f"scenario event kinds: {', '.join(sorted(EVENT_KINDS))}")
+    print(f"bootstrap kinds: {', '.join(BOOTSTRAP_KINDS)}")
+    print(f"measurements: {', '.join(sorted(MEASUREMENTS))}")
+    return 0
+
+
+def _cmd_list_scenarios() -> int:
+    from repro.workloads import MEASUREMENTS
+    from repro.workloads.library import scenario_descriptions
+    from repro.workloads.spec import BOOTSTRAP_KINDS, EVENT_KINDS
+
+    print("built-in scenarios (usable by name in run-spec plans):")
+    for name, description in scenario_descriptions().items():
+        print(f"  {name:22s} {description}")
+    print("\nschedule event kinds (for inline scenario specs):")
+    for kind, cls in sorted(EVENT_KINDS.items()):
+        summary = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"  {kind:22s} {summary}")
+    print(f"\nbootstrap kinds: {', '.join(BOOTSTRAP_KINDS)}")
+    print("\nmeasurements (recordable per run):")
+    for name, measurement in sorted(MEASUREMENTS.items()):
+        print(f"  {name:22s} {measurement.description}")
+    return 0
+
+
+def _cmd_run_spec(
+    path: str,
+    out: Optional[str],
+    scale_name: Optional[str],
+    engine: Optional[str],
+    seeds: Optional[List[int]],
+    protocols: Optional[List[str]],
+) -> int:
+    import dataclasses
+    import json
+
+    from repro.experiments.reporting import format_table
+    from repro.workloads import ExperimentPlan, ScenarioSpec, run_plan
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = handle.read()
+    except OSError as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    # A document with plan axes is a plan; anything else must parse as a
+    # bare scenario spec, wrapped into a single-cell plan from the CLI
+    # flags.  Both paths validate eagerly (exit 2, no simulation).
+    try:
+        payload = json.loads(document)
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"spec document must be a JSON object, got {payload!r}"
+            )
+        if "protocols" in payload or "scenario" in payload:
+            plan = ExperimentPlan.from_dict(payload)
+        else:
+            plan = ExperimentPlan(
+                name=payload.get("name", "spec"),
+                scenario=ScenarioSpec.from_dict(payload),
+            )
+        overrides = {}
+        if scale_name is not None:
+            overrides["scales"] = (scale_name,)
+        if engine is not None:
+            overrides["engines"] = (engine,)
+        if seeds:
+            overrides["seeds"] = tuple(seeds)
+        if protocols:
+            overrides["protocols"] = tuple(protocols)
+        if overrides:
+            plan = dataclasses.replace(plan, **overrides)
+    except (ConfigurationError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"plan {plan.name!r}: {len(plan.protocols)} protocol(s) x "
+        f"scenario x {len(plan.scales)} scale(s) x "
+        f"{len(plan.engines)} engine(s) x {len(plan.seeds)} seed(s) "
+        f"= {plan.total_runs} run(s)"
+    )
+    started = time.perf_counter()
+    result = run_plan(
+        plan,
+        on_record=lambda record: print(
+            f"  [{record.scenario} | {record.protocol} | {record.engine} | "
+            f"{record.scale} | seed {record.seed}] "
+            f"{record.final_nodes} nodes, "
+            f"{record.completed_exchanges} exchanges, "
+            f"digest {record.views_digest[:12]}, "
+            f"{record.elapsed_seconds:.1f}s"
+        ),
+    )
+    elapsed = time.perf_counter() - started
+    headers = [
+        "scenario", "protocol", "engine", "scale", "seed",
+        "cycles", "nodes", "exchanges", "digest",
+    ]
+    rows = [
+        [
+            record.scenario, record.protocol, record.engine, record.scale,
+            record.seed, record.cycles, record.final_nodes,
+            record.completed_exchanges, record.views_digest[:12],
+        ]
+        for record in result.records
+    ]
+    print()
+    print(format_table(headers, rows, title=f"plan {plan.name!r} results"))
+    print(f"\n[{plan.total_runs} run(s) completed in {elapsed:.1f}s]")
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"records written to {out}")
     return 0
 
 
@@ -172,7 +306,58 @@ def build_parser() -> argparse.ArgumentParser:
         "sampling paper (Jelasity et al., Middleware 2004).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
-    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser(
+        "list",
+        help="list experiments, scales, engines and the scenario "
+        "vocabulary",
+    )
+    subparsers.add_parser(
+        "list-scenarios",
+        help="describe the built-in scenarios, event kinds and "
+        "measurements of the workload API",
+    )
+    spec_parser = subparsers.add_parser(
+        "run-spec",
+        help="execute a declarative workload document (an ExperimentPlan "
+        "or bare ScenarioSpec JSON file)",
+    )
+    spec_parser.add_argument(
+        "path", help="JSON file holding the plan or scenario spec"
+    )
+    spec_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the machine-readable records as JSON",
+    )
+    spec_parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="override the plan's scale axis with one preset",
+    )
+    spec_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="override the plan's engine axis with one engine",
+    )
+    spec_parser.add_argument(
+        "--seed",
+        type=int,
+        action="append",
+        default=None,
+        metavar="N",
+        help="override the plan's seeds (repeatable)",
+    )
+    spec_parser.add_argument(
+        "--protocol",
+        action="append",
+        default=None,
+        metavar="LABEL",
+        help="override the plan's protocols, e.g. '(rand,head,pushpull)' "
+        "or '(rand,head,pushpull);H1S1' (repeatable)",
+    )
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "ids",
@@ -220,6 +405,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "list-scenarios":
+        return _cmd_list_scenarios()
+    if args.command == "run-spec":
+        return _cmd_run_spec(
+            args.path,
+            args.out,
+            args.scale,
+            args.engine,
+            args.seed,
+            args.protocol,
+        )
     return _cmd_run(
         args.ids, args.scale, args.seed, args.engine, args.latency, args.loss
     )

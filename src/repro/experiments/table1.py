@@ -28,13 +28,12 @@ from typing import List, Optional, Sequence
 from repro.experiments.common import (
     Scale,
     current_scale,
-    make_engine,
     push_protocols,
 )
 from repro.experiments.reporting import format_table
 from repro.graph.components import component_sizes
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.scenarios import start_growing
+from repro.workloads import named_scenario, run_scenario
 
 PAPER_REFERENCE = {
     "(rand,head,push)": (1.00, 58.36, 4112.09),
@@ -68,10 +67,13 @@ class Table1Result:
 
 def _run_once(config, scale: Scale, seed: int) -> List[int]:
     """One growing run; returns the component sizes at the final cycle."""
-    engine = make_engine(config, seed=seed, scale=scale)
-    start_growing(engine, scale.n_nodes, scale.growth_rate)
-    engine.run(scale.cycles)
-    return component_sizes(GraphSnapshot.from_engine(engine))
+    runtime = run_scenario(
+        named_scenario("growing-overlay", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
+    return component_sizes(GraphSnapshot.from_engine(runtime.engine))
 
 
 def run(scale: Optional[Scale] = None, seed: int = 0) -> Table1Result:

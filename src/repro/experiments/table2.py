@@ -32,14 +32,13 @@ from typing import List, Optional, Sequence
 from repro.experiments.common import (
     Scale,
     current_scale,
-    make_engine,
     studied_protocols,
 )
 from repro.experiments.reporting import format_table
 from repro.graph.snapshot import GraphSnapshot
-from repro.simulation.scenarios import random_bootstrap
 from repro.simulation.trace import DegreeTracer
 from repro.stats.summary import DegreeDynamics, degree_dynamics_summary
+from repro.workloads import named_scenario, prepare_run
 
 PAPER_REFERENCE = {
     "(rand,head,push)": (52.623, 52.703, 1.394),
@@ -71,12 +70,18 @@ class Table2Result:
 
 
 def _run_one(config, scale: Scale, seed: int) -> Table2Row:
-    engine = make_engine(config, seed=seed, scale=scale)
-    addresses = random_bootstrap(engine, n_nodes=scale.n_nodes)
-    tracer = DegreeTracer(addresses[: scale.traced_nodes])
-    engine.add_observer(tracer)
-    engine.run(scale.cycles)
-    final_degrees = GraphSnapshot.from_engine(engine).degrees()
+    runtime = prepare_run(
+        named_scenario("random-convergence", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
+    tracer = DegreeTracer(
+        runtime.bootstrap_addresses[: scale.traced_nodes]
+    )
+    runtime.add_observer(tracer)
+    runtime.run_to_end()
+    final_degrees = GraphSnapshot.from_engine(runtime.engine).degrees()
     dynamics = degree_dynamics_summary(tracer.matrix(), final_degrees)
     return Table2Row(label=config.label, dynamics=dynamics)
 

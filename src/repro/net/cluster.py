@@ -20,7 +20,13 @@ from a *running* cluster.
 Churn is injected with :meth:`kill` / :meth:`crash_random` (daemons stop
 mid-flight; their descriptors decay out of other views, exactly the
 self-healing dynamics of Figure 7) and :meth:`spawn` (a joiner
-bootstrapped from live contacts).
+bootstrapped from live contacts) -- or declaratively:
+:meth:`LocalCluster.run_spec` executes the membership schedule of a
+:class:`~repro.workloads.spec.ScenarioSpec` (``grow``,
+``catastrophic-failure``, ``continuous-churn``, ``churn-trace``) against
+the *live* daemons, each event quantized to a lockstep round start, so
+the same workload document that drives the simulation engines also
+drives a real datagram cluster.
 """
 
 from __future__ import annotations
@@ -249,6 +255,143 @@ class LocalCluster:
     async def run_for(self, seconds: float) -> None:
         """Let a free-running cluster gossip for a wall-clock duration."""
         await asyncio.sleep(seconds)
+
+    async def run_spec(
+        self,
+        spec,
+        cycles: Optional[int] = None,
+        on_cycle=None,
+    ) -> Dict[str, int]:
+        """Execute a :class:`~repro.workloads.spec.ScenarioSpec` schedule
+        against the live cluster, one lockstep round per gossip cycle.
+
+        The cluster analogue of
+        :func:`repro.workloads.runtime.compile_scenario`: ``grow``
+        batches call :meth:`spawn`, ``catastrophic-failure`` crashes the
+        configured fraction, ``continuous-churn`` spawns/crashes at every
+        round start, and ``churn-trace`` timelines are generated with the
+        same :func:`~repro.workloads.runtime.generate_trace` the
+        simulation engines replay -- quantized to round starts like the
+        cycle family does.  ``partition``/``heal`` events and spec-level
+        latency/loss are rejected: real transports have no oracle switch
+        (configure loss/latency on the loopback network at construction
+        instead).
+
+        The cluster must be started (lockstep) and, because its
+        :meth:`start` already performs the random bootstrap, only
+        ``bootstrap: "random"`` specs apply.  ``cycles`` overrides the
+        spec's run length; ``on_cycle(cycle, cluster)`` is invoked after
+        every round.  Returns churn totals.
+        """
+        from repro.workloads.runtime import generate_trace
+        from repro.workloads.spec import (
+            CatastrophicFailure,
+            ChurnTrace,
+            ContinuousChurn,
+            Grow,
+            Heal,
+            Partition,
+        )
+
+        if not self._started or self._free_running:
+            raise ConfigurationError(
+                "run_spec drives a started, lockstep cluster; call "
+                "await start(free_running=False) first"
+            )
+        if spec.bootstrap != "random":
+            raise ConfigurationError(
+                f"the cluster bootstraps randomly at start(); spec "
+                f"bootstrap {spec.bootstrap!r} is not executable here"
+            )
+        if spec.latency is not None or spec.loss is not None:
+            raise ConfigurationError(
+                "spec-level latency/loss do not apply to a live cluster; "
+                "pass latency=/loss= to LocalCluster (loopback transport) "
+                "instead"
+            )
+        unsupported = [
+            event.kind
+            for event in spec.events
+            if isinstance(event, (Partition, Heal))
+        ]
+        if unsupported:
+            raise ConfigurationError(
+                f"event kind(s) {sorted(set(unsupported))} need the "
+                "engines' reachability oracle; a live transport cannot "
+                "execute them"
+            )
+        total = cycles if cycles is not None else spec.cycles
+        if total is None:
+            raise ConfigurationError(
+                "run_spec needs a cycle count (spec.cycles or cycles=)"
+            )
+        # Expand the schedule once; everything below is (cycle -> action).
+        trace = []
+        for index, event in enumerate(spec.events):
+            if isinstance(event, ChurnTrace):
+                trace.extend(generate_trace(event, total, index))
+        trace.sort(key=lambda e: (e.time, e.key, e.action))
+        sessions: Dict[tuple, Address] = {}
+        churn = list(
+            e for e in spec.events if isinstance(e, ContinuousChurn)
+        )
+        failures = [
+            e for e in spec.events if isinstance(e, CatastrophicFailure)
+        ]
+        grows = [e for e in spec.events if isinstance(e, Grow)]
+        for event in grows:
+            if event.target is None:
+                raise ConfigurationError(
+                    "grow.target must be explicit for cluster runs (no "
+                    "scale preset applies)"
+                )
+        fired = set()
+        totals = {"joined": 0, "crashed": 0}
+        trace_pos = 0
+        for cycle in range(total):
+            for event in grows:
+                missing = event.target - len(self)
+                if missing > 0:
+                    per_cycle = (
+                        event.per_cycle
+                        if event.per_cycle is not None
+                        else max(1, event.target // 100)
+                    )
+                    for _ in range(min(per_cycle, missing)):
+                        await self.spawn()
+                        totals["joined"] += 1
+            for index, event in enumerate(failures):
+                if index not in fired and cycle >= event.at_cycle:
+                    count = int(round(len(self) * event.fraction))
+                    count = min(count, max(0, len(self) - 1))
+                    await self.crash_random(count)
+                    totals["crashed"] += count
+                    fired.add(index)
+            for event in churn:
+                crashes = min(
+                    event.leaves_per_cycle, max(0, len(self) - 1)
+                )
+                if crashes:
+                    await self.crash_random(crashes)
+                    totals["crashed"] += crashes
+                for _ in range(event.joins_per_cycle):
+                    await self.spawn()
+                    totals["joined"] += 1
+            while trace_pos < len(trace) and trace[trace_pos].time < cycle + 1:
+                entry = trace[trace_pos]
+                trace_pos += 1
+                if entry.action == 0:  # join
+                    sessions[entry.key] = await self.spawn()
+                    totals["joined"] += 1
+                else:
+                    address = sessions.pop(entry.key, None)
+                    if address in self.daemons and len(self) > 1:
+                        await self.kill(address)
+                        totals["crashed"] += 1
+            await self.run_cycles(1)
+            if on_cycle is not None:
+                on_cycle(cycle + 1, self)
+        return totals
 
     # -- churn -------------------------------------------------------------
 

@@ -10,6 +10,14 @@ Building blocks for the robustness experiments:
 - :class:`TemporaryPartition` -- a network split that later heals, the
   situation the paper's discussion (Section 8) warns quick self-healing
   protocols are vulnerable to.
+
+These observers are the *mechanisms* behind the declarative workload
+API: the event kinds ``catastrophic-failure``, ``continuous-churn`` and
+``partition``/``heal`` of a :class:`~repro.workloads.spec.ScenarioSpec`
+compile down to them (see :mod:`repro.workloads.runtime`; the
+``churn-trace`` kind adds event-driven join/leave timelines on top).
+Describe new workloads as specs; direct use remains supported for
+custom engines and tests.
 """
 
 from __future__ import annotations

@@ -10,6 +10,14 @@ Three ways to initialize the overlay before (or while) the protocol runs:
   from a single node, adding a batch of joiners at the beginning of every
   cycle whose views contain only the oldest node (Section 5.1, the
   most pessimistic bootstrap).
+
+These are the *mechanisms* behind the declarative workload API: a
+:class:`~repro.workloads.spec.ScenarioSpec` names them (``bootstrap:
+"random" | "lattice" | "empty"``, event kind ``grow``) and
+:mod:`repro.workloads.runtime` compiles the spec back onto these
+primitives for any registry engine.  New experiment code should describe
+its workload as a spec (the artefact modules all do); calling these
+helpers directly remains supported for custom engines and tests.
 """
 
 from __future__ import annotations

@@ -1,0 +1,166 @@
+"""Built-in named scenarios: the paper's workloads plus ROADMAP follow-ups.
+
+Every entry is a factory ``(scale) -> ScenarioSpec`` so that cycle counts
+and churn magnitudes stay proportional to the selected
+:class:`~repro.experiments.common.Scale` preset, exactly like the paper's
+parameters scale down in the artefact modules.  Resolve one by name with
+:func:`named_scenario`; plans (:mod:`repro.workloads.plan`) accept these
+names wherever an inline :class:`~repro.workloads.spec.ScenarioSpec` is
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.errors import ConfigurationError
+from repro.workloads.spec import (
+    CatastrophicFailure,
+    ChurnTrace,
+    ContinuousChurn,
+    Grow,
+    Heal,
+    Partition,
+    ScenarioSpec,
+)
+
+__all__ = ["SCENARIOS", "named_scenario", "scenario_descriptions"]
+
+
+def _random_convergence(scale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="random-convergence",
+        bootstrap="random",
+        description=(
+            "the paper's main scenario: random initial views, run to "
+            "convergence (Sections 5.3-7)"
+        ),
+    )
+
+
+def _lattice_convergence(scale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="lattice-convergence",
+        bootstrap="lattice",
+        description=(
+            "structured ring-lattice start, run to convergence "
+            "(Section 5.2 / Figure 3)"
+        ),
+    )
+
+
+def _growing_overlay(scale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="growing-overlay",
+        bootstrap="empty",
+        events=(Grow(),),
+        description=(
+            "grow from one node, joiners know only the oldest node "
+            "(Section 5.1 / Table 1 / Figure 2)"
+        ),
+    )
+
+
+def _catastrophic_failure(scale) -> ScenarioSpec:
+    healing = max(30, scale.cycles // 2)
+    return ScenarioSpec(
+        name="catastrophic-failure",
+        bootstrap="random",
+        cycles=scale.cycles + healing,
+        events=(CatastrophicFailure(at_cycle=scale.cycles, fraction=0.5),),
+        description=(
+            "converge, crash 50% of all nodes, keep running -- the "
+            "self-healing experiment (Section 7 / Figure 7)"
+        ),
+    )
+
+
+def _continuous_churn(scale) -> ScenarioSpec:
+    rate = max(1, scale.n_nodes // 100)
+    return ScenarioSpec(
+        name="continuous-churn",
+        bootstrap="random",
+        events=(
+            ContinuousChurn(joins_per_cycle=rate, leaves_per_cycle=rate),
+        ),
+        description=(
+            "steady-state batch churn: 1% of the population joins and "
+            "leaves every cycle"
+        ),
+    )
+
+
+def _churn_trace(scale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="churn-trace",
+        bootstrap="random",
+        events=(
+            ChurnTrace(
+                rate=max(1, scale.n_nodes // 100),
+                session_length=scale.cycles / 10.0,
+                trace_seed=0,
+            ),
+        ),
+        description=(
+            "event-driven churn trace: Poisson arrivals, exponential "
+            "session lengths, sub-cycle execution on the event engines"
+        ),
+    )
+
+
+def _partition_heal(scale) -> ScenarioSpec:
+    third = max(1, scale.cycles // 3)
+    return ScenarioSpec(
+        name="partition-heal",
+        bootstrap="random",
+        events=(
+            Partition(at_cycle=third, n_groups=2),
+            Heal(at_cycle=2 * third),
+        ),
+        description=(
+            "temporary network split that later heals -- the Section 8 "
+            "discussion scenario"
+        ),
+    )
+
+
+SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "random-convergence": _random_convergence,
+    "lattice-convergence": _lattice_convergence,
+    "growing-overlay": _growing_overlay,
+    "catastrophic-failure": _catastrophic_failure,
+    "continuous-churn": _continuous_churn,
+    "churn-trace": _churn_trace,
+    "partition-heal": _partition_heal,
+}
+"""Named scenario factories, keyed by the name plans reference."""
+
+
+def named_scenario(name: str, scale) -> ScenarioSpec:
+    """Resolve a built-in scenario name at a given scale.
+
+    Raises :class:`~repro.core.errors.ConfigurationError` for unknown
+    names, listing the registry -- same eager style as the engine
+    resolution.
+    """
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        )
+    return factory(scale)
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """``name -> one-line description`` for every built-in scenario.
+
+    Factories are evaluated at the ``quick`` scale just to read the
+    description text.
+    """
+    from repro.experiments.common import SCALES
+
+    scale = SCALES["quick"]
+    return {
+        name: factory(scale).description or ""
+        for name, factory in SCENARIOS.items()
+    }

@@ -1,0 +1,466 @@
+"""Experiment plans: ``protocols x scenario x scales x engines x seeds``.
+
+An :class:`ExperimentPlan` is the serializable cross-product description
+of a whole study: which protocol instances (paper tuple labels, H/S
+suffixes included), which scenario (inline
+:class:`~repro.workloads.spec.ScenarioSpec` or a built-in name from
+:mod:`repro.workloads.library`), at which scale presets, on which
+engines, over which seeds -- plus the measurements to record per run.
+:func:`run_plan` executes the cross-product through
+:func:`~repro.workloads.runtime.prepare_run` and returns one
+:class:`RunRecord` per cell, each carrying a canonical
+:func:`~repro.workloads.runtime.views_digest` of the final overlay (what
+the cross-engine identity tests compare) and the extracted measurement
+series.
+
+Like the specs, plans validate eagerly: unknown engines, scales,
+measurements or unparsable protocol labels raise
+:class:`~repro.core.errors.ConfigurationError` at construction (and
+therefore at :meth:`ExperimentPlan.from_json` time), never mid-study.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.workloads.library import SCENARIOS, named_scenario
+from repro.workloads.runtime import ScenarioRuntime, prepare_run
+from repro.workloads.spec import ScenarioSpec
+
+__all__ = [
+    "MEASUREMENTS",
+    "ExperimentPlan",
+    "PlanResult",
+    "RunRecord",
+    "run_plan",
+]
+
+
+# -- measurements ------------------------------------------------------------
+
+
+class Measurement(NamedTuple):
+    """One recordable quantity: attach observers, then extract a result."""
+
+    description: str
+    setup: Callable[[ScenarioRuntime, Any], Callable[[], Any]]
+    """``setup(runtime, scale)`` runs after the bootstrap and returns the
+    zero-argument extractor called once the run completes."""
+
+
+def _measure_metrics(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    from repro.simulation.trace import MetricsRecorder
+
+    recorder = MetricsRecorder(
+        every=scale.metrics_every,
+        clustering_sample=scale.clustering_sample,
+        path_sources=scale.path_sources,
+        record_initial=False,
+    )
+    runtime.add_observer(recorder)
+    return recorder.as_dict
+
+
+def _measure_dead_links(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    from repro.simulation.trace import DeadLinkCensus
+
+    census = DeadLinkCensus(every=1)
+    runtime.add_observer(census)
+    return lambda: {
+        "cycles": list(census.cycles),
+        "dead_links": list(census.dead_links),
+    }
+
+
+def _measure_view_sizes(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    from repro.simulation.trace import ViewSizeRecorder
+
+    recorder = ViewSizeRecorder(every=scale.metrics_every)
+    runtime.add_observer(recorder)
+    return lambda: {
+        "cycles": list(recorder.cycles),
+        "min": list(recorder.min_size),
+        "mean": list(recorder.mean_size),
+        "max": list(recorder.max_size),
+    }
+
+
+def _measure_degree_trace(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    from repro.simulation.trace import DegreeTracer
+
+    tracer = DegreeTracer(
+        runtime.bootstrap_addresses[: scale.traced_nodes]
+    )
+    runtime.add_observer(tracer)
+    return lambda: {"cycles": list(tracer.cycles), "series": tracer.matrix()}
+
+
+def _measure_components(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    def extract() -> List[int]:
+        from repro.graph.components import component_sizes
+        from repro.graph.snapshot import GraphSnapshot
+
+        return component_sizes(GraphSnapshot.from_engine(runtime.engine))
+
+    return extract
+
+
+def _measure_degrees(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
+    def extract() -> Dict[str, float]:
+        from repro.graph.snapshot import GraphSnapshot
+
+        degrees = GraphSnapshot.from_engine(runtime.engine).degrees()
+        if degrees.size == 0:
+            return {"mean": 0.0, "std": 0.0, "min": 0, "max": 0}
+        return {
+            "mean": float(degrees.mean()),
+            "std": float(degrees.std()),
+            "min": int(degrees.min()),
+            "max": int(degrees.max()),
+        }
+
+    return extract
+
+
+MEASUREMENTS: Dict[str, Measurement] = {
+    "metrics": Measurement(
+        "clustering / average degree / path length per cycle (Figure 2/3)",
+        _measure_metrics,
+    ),
+    "dead-links": Measurement(
+        "dead links after every cycle (Figure 7)", _measure_dead_links
+    ),
+    "view-sizes": Measurement(
+        "min/mean/max view fill level", _measure_view_sizes
+    ),
+    "degree-trace": Measurement(
+        "per-cycle degrees of the first traced_nodes bootstrap nodes "
+        "(Table 2 / Figure 5)",
+        _measure_degree_trace,
+    ),
+    "components": Measurement(
+        "connected component sizes of the final overlay (Table 1)",
+        _measure_components,
+    ),
+    "degrees": Measurement(
+        "degree distribution summary of the final overlay (Figure 4)",
+        _measure_degrees,
+    ),
+}
+"""Measurements selectable by name in :class:`ExperimentPlan`."""
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+_PLAN_FIELDS = (
+    "name",
+    "scenario",
+    "protocols",
+    "scales",
+    "engines",
+    "seeds",
+    "n_nodes",
+    "cycles",
+    "measurements",
+    "description",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentPlan:
+    """The serializable cross-product of one study (module docstring).
+
+    ``engines`` entries may be ``None`` (JSON ``null`` or the string
+    ``"default"``): the scale preset's default engine then applies, like
+    an experiment invoked without ``--engine``.  ``n_nodes`` and
+    ``cycles`` override the scale preset (the spec's own ``cycles``
+    field, if set, wins over the preset but loses to the plan override).
+    """
+
+    name: str = "plan"
+    scenario: Union[str, ScenarioSpec] = "random-convergence"
+    protocols: Tuple[str, ...] = ("(rand,head,pushpull)",)
+    scales: Tuple[str, ...] = ("quick",)
+    engines: Tuple[Optional[str], ...] = (None,)
+    seeds: Tuple[int, ...] = (0,)
+    n_nodes: Optional[int] = None
+    cycles: Optional[int] = None
+    measurements: Tuple[str, ...] = ()
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        from repro.experiments.common import ENGINES, SCALES
+
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"plan name must be a non-empty string, got {self.name!r}"
+            )
+        if isinstance(self.scenario, str):
+            if self.scenario not in SCENARIOS:
+                raise ConfigurationError(
+                    f"unknown scenario {self.scenario!r}; choose from "
+                    f"{sorted(SCENARIOS)} or inline a scenario spec"
+                )
+        elif not isinstance(self.scenario, ScenarioSpec):
+            raise ConfigurationError(
+                f"scenario must be a name or a ScenarioSpec, got "
+                f"{self.scenario!r}"
+            )
+        for attr in ("protocols", "scales", "engines", "seeds", "measurements"):
+            object.__setattr__(self, attr, tuple(getattr(self, attr)))
+        if not self.protocols:
+            raise ConfigurationError("plan needs at least one protocol")
+        for label in self.protocols:
+            ProtocolConfig.from_label(label)  # raises on bad labels
+        if not self.scales:
+            raise ConfigurationError("plan needs at least one scale")
+        for scale_name in self.scales:
+            if scale_name not in SCALES:
+                raise ConfigurationError(
+                    f"unknown scale {scale_name!r}; choose from "
+                    f"{sorted(SCALES)}"
+                )
+        if not self.engines:
+            raise ConfigurationError(
+                "plan needs at least one engine (null = scale default)"
+            )
+        for engine_name in self.engines:
+            if engine_name is not None and engine_name not in ENGINES:
+                raise ConfigurationError(
+                    f"unknown engine {engine_name!r}; choose from "
+                    f"{sorted(ENGINES)} (or null for the scale default)"
+                )
+        if not self.seeds:
+            raise ConfigurationError("plan needs at least one seed")
+        for seed in self.seeds:
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ConfigurationError(
+                    f"seeds must be integers, got {seed!r}"
+                )
+        for measurement in self.measurements:
+            if measurement not in MEASUREMENTS:
+                raise ConfigurationError(
+                    f"unknown measurement {measurement!r}; choose from "
+                    f"{sorted(MEASUREMENTS)}"
+                )
+        if self.n_nodes is not None and (
+            not isinstance(self.n_nodes, int) or self.n_nodes < 1
+        ):
+            raise ConfigurationError(
+                f"n_nodes must be a positive integer, got {self.n_nodes!r}"
+            )
+        if self.cycles is not None and (
+            not isinstance(self.cycles, int) or self.cycles < 1
+        ):
+            raise ConfigurationError(
+                f"cycles must be a positive integer, got {self.cycles!r}"
+            )
+
+    @property
+    def total_runs(self) -> int:
+        """Number of cells in the cross-product."""
+        return (
+            len(self.protocols)
+            * len(self.scales)
+            * len(self.engines)
+            * len(self.seeds)
+        )
+
+    def resolve_scenario(self, scale) -> ScenarioSpec:
+        """The concrete spec for one scale (named scenarios scale along)."""
+        if isinstance(self.scenario, str):
+            return named_scenario(self.scenario, scale)
+        return self.scenario
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (``None`` engine entries become ``null``)."""
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "scenario": (
+                self.scenario
+                if isinstance(self.scenario, str)
+                else self.scenario.to_dict()
+            ),
+            "protocols": list(self.protocols),
+            "scales": list(self.scales),
+            "engines": list(self.engines),
+            "seeds": list(self.seeds),
+        }
+        for key in ("n_nodes", "cycles", "description"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.measurements:
+            payload["measurements"] = list(self.measurements)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentPlan":
+        """Parse a mapping; unknown keys raise eagerly."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"experiment plan must be a mapping, got {payload!r}"
+            )
+        unknown = sorted(set(payload) - set(_PLAN_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown plan field(s) {unknown}; valid fields: "
+                f"{sorted(_PLAN_FIELDS)}"
+            )
+        kwargs: Dict[str, Any] = {
+            key: payload[key] for key in _PLAN_FIELDS if key in payload
+        }
+        scenario = kwargs.get("scenario")
+        if isinstance(scenario, Mapping):
+            kwargs["scenario"] = ScenarioSpec.from_dict(scenario)
+        if "engines" in kwargs:
+            kwargs["engines"] = tuple(
+                None if engine in (None, "default") else engine
+                for engine in kwargs["engines"]
+            )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, document: str) -> "ExperimentPlan":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"experiment plan is not valid JSON: {exc}"
+            ) from None
+        return cls.from_dict(payload)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """One executed cell of the plan's cross-product."""
+
+    scenario: str
+    protocol: str
+    scale: str
+    engine: str
+    seed: int
+    cycles: int
+    final_nodes: int
+    completed_exchanges: int
+    failed_exchanges: int
+    views_digest: str
+    """Canonical overlay digest -- equal digests mean byte-identical
+    final views (the cross-engine identity criterion)."""
+    measurements: Dict[str, Any]
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanResult:
+    """Every record of one executed plan."""
+
+    plan: ExperimentPlan
+    records: List[RunRecord]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (plan inline, one entry per record)."""
+        return {
+            "plan": self.plan.to_dict(),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize results (plan included) to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
+) -> PlanResult:
+    """Execute every cell of ``plan`` and collect the records.
+
+    Cells run in deterministic order (scales, then engines, then
+    protocols, then seeds); ``on_record`` is invoked after each cell,
+    which is how the CLI streams progress.  Engine construction,
+    bootstrap and schedule execution all go through
+    :func:`~repro.workloads.runtime.prepare_run`, so a plan exercises
+    exactly the code path the artefact modules use.
+    """
+    from repro.experiments.common import SCALES, resolve_engine_name
+
+    records: List[RunRecord] = []
+    for scale_name in plan.scales:
+        scale = SCALES[scale_name]
+        spec = plan.resolve_scenario(scale)
+        for engine_name in plan.engines:
+            effective_engine = resolve_engine_name(
+                engine_name, default=scale.default_engine
+            )
+            for label in plan.protocols:
+                config = ProtocolConfig.from_label(
+                    label, view_size=scale.view_size
+                )
+                for seed in plan.seeds:
+                    started = time.perf_counter()
+                    runtime = prepare_run(
+                        spec,
+                        config,
+                        scale=scale,
+                        seed=seed,
+                        engine=effective_engine,
+                        n_nodes=plan.n_nodes,
+                        cycles=plan.cycles,
+                    )
+                    extractors = {
+                        name: MEASUREMENTS[name].setup(runtime, scale)
+                        for name in plan.measurements
+                    }
+                    runtime.run_to_end()
+                    record = RunRecord(
+                        scenario=spec.name,
+                        protocol=config.label,
+                        scale=scale_name,
+                        engine=effective_engine,
+                        seed=seed,
+                        cycles=runtime.cycles,
+                        final_nodes=len(runtime.engine),
+                        completed_exchanges=runtime.engine.completed_exchanges,
+                        failed_exchanges=runtime.engine.failed_exchanges,
+                        views_digest=runtime.views_digest(),
+                        measurements={
+                            name: extract()
+                            for name, extract in extractors.items()
+                        },
+                        elapsed_seconds=time.perf_counter() - started,
+                    )
+                    records.append(record)
+                    if on_record is not None:
+                        on_record(record)
+    return PlanResult(plan=plan, records=records)

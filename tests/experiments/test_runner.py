@@ -139,3 +139,143 @@ class TestMain:
             == 2
         )
         assert "loss" in capsys.readouterr().err
+
+
+class TestListScenarios:
+    def test_lists_vocabulary(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "random-convergence",
+            "growing-overlay",
+            "catastrophic-failure",
+            "churn-trace",
+            "partition-heal",
+        ):
+            assert name in out
+        for kind in ("grow", "continuous-churn", "partition", "heal"):
+            assert kind in out
+        assert "measurements" in out
+
+    def test_list_includes_engines_scales_and_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for scale in ("quick", "default", "full"):
+            assert scale in out
+        for engine in ("cycle", "fast", "live", "event", "fast-event"):
+            assert engine in out
+        assert "churn-trace" in out
+        assert "bootstrap kinds" in out
+
+
+class TestRunSpec:
+    PLAN = {
+        "name": "cli-demo",
+        "scenario": {
+            "name": "mini-heal",
+            "bootstrap": "random",
+            "cycles": 6,
+            "events": [
+                {"kind": "catastrophic-failure", "at_cycle": 4,
+                 "fraction": 0.5}
+            ],
+        },
+        "protocols": ["(rand,head,pushpull)"],
+        "scales": ["quick"],
+        "engines": ["fast"],
+        "seeds": [0],
+        "n_nodes": 30,
+        "measurements": ["dead-links"],
+    }
+
+    def _write(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_plan_document_runs(self, capsys, tmp_path):
+        assert main(["run-spec", self._write(tmp_path, self.PLAN)]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "(rand,head,pushpull)" in out
+        assert "digest" in out
+
+    def test_bare_scenario_document_runs(self, capsys, tmp_path):
+        path = self._write(tmp_path, self.PLAN["scenario"])
+        assert main(
+            ["run-spec", path, "--engine", "fast", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mini-heal" in out
+
+    def test_out_writes_machine_readable_records(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "records.json"
+        assert main(
+            [
+                "run-spec",
+                self._write(tmp_path, self.PLAN),
+                "--out",
+                str(out_path),
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["plan"]["name"] == "cli-demo"
+        record = payload["records"][0]
+        assert record["engine"] == "fast"
+        assert len(record["views_digest"]) == 64
+        assert record["measurements"]["dead-links"]["dead_links"]
+
+    def test_unknown_event_kind_fails_eagerly(self, capsys, tmp_path):
+        bad = dict(self.PLAN)
+        bad["scenario"] = {
+            "name": "bad",
+            "events": [{"kind": "asteroid"}],
+        }
+        assert main(["run-spec", self._write(tmp_path, bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown event kind" in err
+        assert "asteroid" in err
+
+    def test_out_of_range_parameter_fails_eagerly(self, capsys, tmp_path):
+        bad = dict(self.PLAN)
+        bad["scenario"] = {
+            "name": "bad",
+            "events": [
+                {"kind": "catastrophic-failure", "at_cycle": 1,
+                 "fraction": 7.0}
+            ],
+        }
+        assert main(["run-spec", self._write(tmp_path, bad)]) == 2
+        assert "fraction" in capsys.readouterr().err
+
+    def test_unknown_engine_fails_eagerly(self, capsys, tmp_path):
+        bad = dict(self.PLAN)
+        bad["engines"] = ["warpdrive"]
+        assert main(["run-spec", self._write(tmp_path, bad)]) == 2
+        assert "warpdrive" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, capsys):
+        assert main(["run-spec", "/nonexistent/plan.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_json_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        assert main(["run-spec", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_protocol_override_with_hs_suffix(self, capsys, tmp_path):
+        path = self._write(tmp_path, self.PLAN)
+        assert main(
+            [
+                "run-spec",
+                path,
+                "--protocol",
+                "(rand,rand,pushpull);H2S1",
+            ]
+        ) == 0
+        assert "(rand,rand,pushpull);H2S1" in capsys.readouterr().out

@@ -218,3 +218,109 @@ class TestUdpCluster:
         assert stats["invalid_messages"] == 0
         assert stats["exchanges_completed"] == 12 * 8
         assert summary["in_degree_mean"] == pytest.approx(8.0)
+
+
+@pytest.mark.timeout(90)
+class TestRunSpec:
+    """Declarative ScenarioSpec execution against live daemons."""
+
+    @staticmethod
+    def _spec(**overrides):
+        from repro.workloads import (
+            CatastrophicFailure,
+            ChurnTrace,
+            ScenarioSpec,
+        )
+
+        defaults = dict(
+            name="live-churn",
+            bootstrap="random",
+            cycles=8,
+            events=(
+                ChurnTrace(rate=0.5, session_length=4.0, trace_seed=2),
+                CatastrophicFailure(at_cycle=5, fraction=0.3),
+            ),
+        )
+        defaults.update(overrides)
+        return ScenarioSpec(**defaults)
+
+    def test_spec_schedule_executes_on_loopback(self):
+        spec = self._spec()
+
+        async def session():
+            cluster = LocalCluster(
+                newscast(8), 16, network=CHURNY,
+                transport="loopback", seed=7,
+            )
+            await cluster.start(free_running=False)
+            try:
+                sizes = []
+                totals = await cluster.run_spec(
+                    spec, on_cycle=lambda c, cl: sizes.append(len(cl))
+                )
+                return totals, sizes, len(cluster)
+            finally:
+                await cluster.stop()
+
+        totals, sizes, final = run_session(session())
+        assert len(sizes) == 8
+        assert totals["crashed"] > 0
+        # the 30% crash at cycle 5 is visible in the population curve
+        assert min(sizes[5:]) < max(sizes[:5])
+        assert final == sizes[-1]
+
+    def test_same_seed_replays_same_churn(self):
+        spec = self._spec()
+
+        async def session(seed):
+            cluster = LocalCluster(
+                newscast(8), 12, network=CHURNY,
+                transport="loopback", seed=seed,
+            )
+            await cluster.start(free_running=False)
+            try:
+                totals = await cluster.run_spec(spec)
+                return totals, len(cluster)
+            finally:
+                await cluster.stop()
+
+        first = run_session(session(3))
+        second = run_session(session(3))
+        assert first == second
+
+    def test_partition_events_rejected(self):
+        from repro.core.errors import ConfigurationError
+        from repro.workloads import Heal, Partition, ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="split",
+            cycles=6,
+            events=(Partition(at_cycle=1), Heal(at_cycle=3)),
+        )
+
+        async def session():
+            cluster = LocalCluster(
+                newscast(8), 8, network=LOCKSTEP,
+                transport="loopback", seed=1,
+            )
+            await cluster.start(free_running=False)
+            try:
+                with pytest.raises(ConfigurationError, match="oracle"):
+                    await cluster.run_spec(spec)
+            finally:
+                await cluster.stop()
+
+        run_session(session())
+
+    def test_requires_started_lockstep_cluster(self):
+        from repro.core.errors import ConfigurationError
+
+        async def session():
+            cluster = LocalCluster(
+                newscast(8), 8, network=LOCKSTEP,
+                transport="loopback", seed=1,
+            )
+            with pytest.raises(ConfigurationError, match="lockstep"):
+                await cluster.run_spec(self._spec())
+
+        run_session(session())

@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_all_exports_resolve():
@@ -38,6 +38,20 @@ def test_subpackages_importable():
     import repro.graph
     import repro.simulation
     import repro.stats
+    import repro.workloads
 
     assert repro.graph.GraphSnapshot is not None
     assert repro.stats.autocorrelation is not None
+    assert repro.workloads.ScenarioSpec is repro.ScenarioSpec
+
+
+def test_declarative_workflow():
+    runtime = repro.prepare_run(
+        repro.ScenarioSpec(bootstrap="random", cycles=5),
+        repro.newscast(view_size=8),
+        n_nodes=50,
+        seed=0,
+    )
+    runtime.run_to_end()
+    assert runtime.engine.cycle == 5
+    assert len(runtime.engine) == 50

@@ -1,0 +1,162 @@
+"""ExperimentPlan: validation, JSON round-tripping, run_plan execution."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workloads import (
+    MEASUREMENTS,
+    CatastrophicFailure,
+    ExperimentPlan,
+    ScenarioSpec,
+    run_plan,
+)
+
+
+def small_plan(**overrides) -> ExperimentPlan:
+    defaults = dict(
+        name="small",
+        scenario=ScenarioSpec(
+            name="heal",
+            bootstrap="random",
+            cycles=8,
+            events=(CatastrophicFailure(at_cycle=5, fraction=0.4),),
+        ),
+        protocols=("(rand,head,pushpull)",),
+        scales=("quick",),
+        engines=("fast",),
+        seeds=(0,),
+        n_nodes=40,
+        measurements=("dead-links", "components"),
+    )
+    defaults.update(overrides)
+    return ExperimentPlan(**defaults)
+
+
+class TestValidation:
+    def test_unknown_scenario_name(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            small_plan(scenario="black-hole")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="unknown scale"):
+            small_plan(scales=("galactic",))
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            small_plan(engines=("warpdrive",))
+
+    def test_unknown_measurement(self):
+        with pytest.raises(ConfigurationError, match="unknown measurement"):
+            small_plan(measurements=("vibes",))
+
+    def test_bad_protocol_label(self):
+        with pytest.raises(ConfigurationError, match="label"):
+            small_plan(protocols=("(rand,psychic,pushpull)",))
+
+    def test_empty_axes_rejected(self):
+        for axis in ("protocols", "scales", "engines", "seeds"):
+            with pytest.raises(ConfigurationError):
+                small_plan(**{axis: ()})
+
+    def test_non_integer_seed(self):
+        with pytest.raises(ConfigurationError, match="seeds"):
+            small_plan(seeds=("zero",))
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown plan field"):
+            ExperimentPlan.from_dict({"name": "x", "budget": 1000})
+
+    def test_total_runs(self):
+        plan = small_plan(
+            protocols=("(rand,head,pushpull)", "(rand,rand,push)"),
+            engines=("cycle", "fast"),
+            seeds=(0, 1, 2),
+        )
+        assert plan.total_runs == 12
+
+
+class TestJsonRoundTrip:
+    def test_inline_scenario_round_trip(self):
+        plan = small_plan()
+        assert ExperimentPlan.from_json(plan.to_json()) == plan
+
+    def test_named_scenario_round_trip(self):
+        plan = small_plan(scenario="catastrophic-failure")
+        assert ExperimentPlan.from_json(plan.to_json()) == plan
+
+    def test_default_engine_round_trips_as_null(self):
+        plan = small_plan(engines=(None,))
+        restored = ExperimentPlan.from_json(plan.to_json())
+        assert restored.engines == (None,)
+
+    def test_default_engine_string_accepted(self):
+        restored = ExperimentPlan.from_dict(
+            {"name": "x", "engines": ["default", "fast"]}
+        )
+        assert restored.engines == (None, "fast")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            ExperimentPlan.from_json("]")
+
+
+class TestRunPlan:
+    def test_records_cover_cross_product(self):
+        plan = small_plan(
+            protocols=("(rand,head,pushpull)", "(rand,rand,pushpull)"),
+            seeds=(0, 1),
+        )
+        result = run_plan(plan)
+        assert len(result.records) == plan.total_runs == 4
+        labels = {(r.protocol, r.seed) for r in result.records}
+        assert len(labels) == 4
+        for record in result.records:
+            assert record.scenario == "heal"
+            assert record.engine == "fast"
+            assert record.cycles == 8
+            assert record.final_nodes < 40  # the crash fired
+            assert len(record.views_digest) == 64
+            assert set(record.measurements) == {"dead-links", "components"}
+            dead = record.measurements["dead-links"]
+            assert len(dead["cycles"]) == 8
+            assert max(dead["dead_links"]) > 0
+
+    def test_same_seed_same_digest_across_invocations(self):
+        plan = small_plan()
+        first = run_plan(plan).records[0]
+        second = run_plan(plan).records[0]
+        assert first.views_digest == second.views_digest
+
+    def test_json_round_tripped_plan_runs_identically(self):
+        plan = small_plan()
+        restored = ExperimentPlan.from_json(plan.to_json())
+        assert (
+            run_plan(plan).records[0].views_digest
+            == run_plan(restored).records[0].views_digest
+        )
+
+    def test_on_record_streams(self):
+        seen = []
+        run_plan(small_plan(), on_record=seen.append)
+        assert len(seen) == 1
+
+    def test_default_engine_uses_scale_default(self):
+        result = run_plan(small_plan(engines=(None,)))
+        assert result.records[0].engine == "cycle"  # quick's default
+
+    def test_result_to_json_parses(self):
+        import json
+
+        payload = json.loads(run_plan(small_plan()).to_json())
+        assert payload["plan"]["name"] == "small"
+        assert len(payload["records"]) == 1
+
+    def test_every_measurement_runs(self):
+        plan = small_plan(
+            scenario="random-convergence",
+            measurements=tuple(sorted(MEASUREMENTS)),
+            cycles=6,
+        )
+        record = run_plan(plan).records[0]
+        assert set(record.measurements) == set(MEASUREMENTS)
+        assert record.measurements["degrees"]["mean"] > 0
