@@ -1,0 +1,112 @@
+"""Serial vs parallel ``run_plan``: wall clock and the identity contract.
+
+The plan under test is an 8-cell Figure-7-style sweep (the paper's eight
+protocol instances on the self-healing workload) at the ambient scale --
+the shape of study ``run_plan(plan, workers=N)`` exists for.  Two claims
+are demonstrated:
+
+1. **identity** (asserted everywhere): the parallel run produces
+   byte-identical records -- overlay digests, measurement series,
+   ordering -- to the serial run (``PlanResult.records_digest``);
+2. **speedup** (asserted on capable boxes): with ``REPRO_SCALE=full``
+   (N = 10^4, the preset that defaults to one worker per core) on a
+   4+-core machine, parallel execution is >= 3x faster than serial.
+   At smaller scales the per-cell work is milliseconds, spawn/import
+   overhead dominates, and the speedup is recorded but not asserted.
+
+Machine-readable results land in ``benchmarks/out/BENCH_run_plan.json``
+(uploaded by the CI ``plan-parallel`` job): cpu count, worker count,
+serial/parallel seconds, speedup, and the shared records digest.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.experiments.common import studied_protocols
+from repro.experiments.reporting import format_table
+from repro.workloads import CatastrophicFailure, ExperimentPlan, ScenarioSpec, run_plan
+
+HEALING_CYCLES = 30
+SPEEDUP_FLOOR = 3.0
+"""Required parallel speedup for a full-scale plan on a 4+-core box."""
+
+
+def _build_plan(scale) -> ExperimentPlan:
+    converge = scale.cycles
+    spec = ScenarioSpec(
+        name="bench-self-healing",
+        bootstrap="random",
+        cycles=converge + HEALING_CYCLES,
+        events=(CatastrophicFailure(at_cycle=converge, fraction=0.5),),
+    )
+    return ExperimentPlan(
+        name="bench-run-plan",
+        scenario=spec,
+        protocols=tuple(
+            config.label for config in studied_protocols(scale.view_size)
+        ),
+        scales=(scale.name,),
+        engines=("fast",),
+        seeds=(7,),
+        measurements=("dead-links", "components"),
+    )
+
+
+def test_run_plan_parallel_speedup(scale):
+    plan = _build_plan(scale)
+    cpu_count = os.cpu_count() or 1
+    workers = max(2, min(cpu_count, plan.total_runs))
+
+    started = time.perf_counter()
+    serial = run_plan(plan, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_plan(plan, workers=workers)
+    parallel_seconds = time.perf_counter() - started
+
+    identical = serial.records_digest() == parallel.records_digest()
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+
+    report = format_table(
+        ["mode", "workers", "cells", "seconds"],
+        [
+            ["serial", 1, plan.total_runs, round(serial_seconds, 3)],
+            ["parallel", workers, plan.total_runs, round(parallel_seconds, 3)],
+        ],
+        title=(
+            f"run_plan serial vs parallel (scale={scale.name}, "
+            f"N={scale.n_nodes}, {cpu_count} cores, speedup "
+            f"{speedup:.2f}x, identical={identical})"
+        ),
+    )
+    emit_report("bench_run_plan", report)
+    emit_json(
+        "run_plan",
+        {
+            "scale": scale.name,
+            "n_nodes": scale.n_nodes,
+            "cells": plan.total_runs,
+            "cpu_count": cpu_count,
+            "workers": workers,
+            "accelerated": not os.environ.get("REPRO_NO_ACCEL"),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "identical": identical,
+            "records_digest": serial.records_digest(),
+        },
+    )
+
+    # The whole point of parallel execution: trustworthy == identical.
+    assert identical, "parallel records drifted from serial execution"
+    assert [r.canonical_dict() for r in serial.records] == [
+        r.canonical_dict() for r in parallel.records
+    ]
+    if scale.name == "full" and cpu_count >= 4:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel run_plan only {speedup:.2f}x faster than serial "
+            f"({serial_seconds:.1f}s vs {parallel_seconds:.1f}s) on "
+            f"{cpu_count} cores; expected >= {SPEEDUP_FLOOR}x"
+        )

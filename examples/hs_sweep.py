@@ -17,7 +17,11 @@ view duplication (the TOCS trade-off curves in miniature).
 
 Run with::
 
-    python examples/hs_sweep.py [n_nodes] [seed]
+    python examples/hs_sweep.py [n_nodes] [seed] [workers]
+
+``workers`` (or ``$REPRO_WORKERS``) fans the sweep's cells out over a
+process pool -- results are byte-identical to the serial run, so the
+only thing that changes is the wall clock.
 """
 
 import sys
@@ -70,6 +74,7 @@ def build_plan(n_nodes: int, seed: int) -> ExperimentPlan:
 def main() -> None:
     n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 400
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else None
 
     plan = build_plan(n_nodes, seed)
     print(
@@ -77,7 +82,7 @@ def main() -> None:
         f"N={n_nodes}, crash at cycle {CONVERGE_CYCLES}, "
         f"{HEAL_CYCLES} healing cycles\n"
     )
-    result = run_plan(plan)
+    result = run_plan(plan, workers=workers)
 
     checkpoints = (1, 5, 10, 20, HEAL_CYCLES)
     headers = ["protocol", "dead@c+1"] + [

@@ -77,9 +77,10 @@ from repro.workloads import (
     ScenarioSpec,
     prepare_run,
     run_plan,
+    run_plans,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -101,6 +102,7 @@ __all__ = [
     "newscast",
     "prepare_run",
     "run_plan",
+    "run_plans",
     "ViewSelection",
     "__version__",
 ]

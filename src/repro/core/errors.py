@@ -33,3 +33,15 @@ class NotInitializedError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class PlanExecutionError(ReproError):
+    """A plan cell failed to execute.
+
+    Raised by :func:`repro.workloads.run_plan` when a cell errors (the
+    failing cell is named, the original exception chained as
+    ``__cause__``), when a worker process dies (which breaks every
+    outstanding cell at once, so the message reports the unfinished
+    count rather than guessing a victim), or when the plan exceeds its
+    ``timeout``.
+    """

@@ -43,6 +43,9 @@ LATENCY_ENV_VAR = "REPRO_LATENCY"
 LOSS_ENV_VAR = "REPRO_LOSS"
 """Per-message Bernoulli loss probability for event engines."""
 
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+"""Worker-process count for parallel plan execution (0 = one per core)."""
+
 
 ENGINES: Dict[str, Type[BaseEngine]] = {
     "cycle": CycleEngine,
@@ -95,10 +98,66 @@ class Scale:
     byte-identical for the same seed, and only the array-backed engine
     makes the paper's true N = 10^4 practical out of the box."""
 
+    default_workers: int = 1
+    """Worker processes for multi-cell plan execution unless overridden
+    (``--workers`` / ``$REPRO_WORKERS``).  ``0`` means one per CPU core;
+    ``full`` defaults to that, so paper-scale sweeps use every core out
+    of the box.  Parallel execution is byte-identical to serial (pinned
+    by ``tests/workloads/test_parallel.py``), so the choice only affects
+    wall clock, never numbers."""
+
     @property
     def growth_rate(self) -> int:
         """Joins per cycle in the growing scenario."""
         return max(1, -(-self.n_nodes // self.growth_cycles))  # ceil division
+
+    def validate(self) -> "Scale":
+        """Eagerly check field types and ranges; returns ``self``.
+
+        The registry presets are authored here and trusted; this is the
+        boundary check for *inline* scales arriving through an
+        :class:`~repro.workloads.plan.ExperimentPlan` document, so a
+        hand-written JSON scale fails at plan construction with a
+        :class:`~repro.core.errors.ConfigurationError`, never mid-study.
+        """
+
+        def bad(field: str, expectation: str):
+            value = getattr(self, field)
+            return ConfigurationError(
+                f"inline scale {self.name!r}: {field} must be "
+                f"{expectation}, got {value!r}"
+            )
+
+        def check_int(field: str, minimum: int) -> None:
+            value = getattr(self, field)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise bad(field, "an integer")
+            if value < minimum:
+                raise bad(field, f">= {minimum}")
+
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigurationError(
+                f"inline scale name must be a non-empty string, got "
+                f"{self.name!r}"
+            )
+        for field, minimum in (
+            ("n_nodes", 1),
+            ("view_size", 1),
+            ("cycles", 1),
+            ("growth_cycles", 1),
+            ("runs", 1),
+            ("traced_nodes", 0),
+            ("removal_repeats", 1),
+            ("metrics_every", 1),
+            ("default_workers", 0),
+        ):
+            check_int(field, minimum)
+        for field in ("clustering_sample", "path_sources"):
+            if getattr(self, field) is not None:
+                check_int(field, 1)
+        if self.default_engine not in ENGINES:
+            raise bad("default_engine", f"one of {sorted(ENGINES)}")
+        return self
 
 
 SCALES: Dict[str, Scale] = {
@@ -145,6 +204,7 @@ SCALES: Dict[str, Scale] = {
         clustering_sample=1000,
         path_sources=50,
         default_engine="fast",
+        default_workers=0,
     ),
 }
 
@@ -177,6 +237,52 @@ def resolve_engine_name(
             f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
         )
     return name
+
+
+def resolve_workers(
+    workers: Optional[int] = None, scales: Tuple[Scale, ...] = ()
+) -> int:
+    """Resolve the plan-execution worker count.
+
+    Resolution order: explicit ``workers`` > ``$REPRO_WORKERS`` > the
+    largest :attr:`Scale.default_workers` among ``scales`` > ``1``
+    (serial).  ``0`` -- wherever it comes from -- means one worker per
+    CPU core.  Anything that is not a non-negative integer raises
+    :class:`~repro.core.errors.ConfigurationError` eagerly, so a typo'd
+    environment value fails before any simulation starts.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR)
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"${WORKERS_ENV_VAR} must be an integer "
+                    f"(0 = one per core), got {raw!r}"
+                ) from None
+    if workers is None and scales:
+        # Expand the 0 = one-per-core sentinel *before* taking the max:
+        # it is semantically the largest request but numerically the
+        # smallest, so a mixed quick+full plan must not resolve serial.
+        workers = max(
+            scale.default_workers or (os.cpu_count() or 1)
+            for scale in scales
+        )
+    if workers is None:
+        workers = 1
+    if (
+        not isinstance(workers, int)
+        or isinstance(workers, bool)
+        or workers < 0
+    ):
+        raise ConfigurationError(
+            f"workers must be a non-negative integer (0 = one per core), "
+            f"got {workers!r}"
+        )
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
 
 
 def engine_class(

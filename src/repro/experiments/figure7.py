@@ -26,12 +26,11 @@ from repro.experiments.common import (
     studied_protocols,
 )
 from repro.experiments.reporting import format_series, format_table
-from repro.simulation.trace import DeadLinkCensus
 from repro.workloads import (
     CatastrophicFailure,
-    FailureHandle,
+    ExperimentPlan,
     ScenarioSpec,
-    prepare_run,
+    run_plans,
 )
 
 FAILURE_FRACTION = 0.5
@@ -75,7 +74,7 @@ class Figure7Result:
     series: List[HealingSeries]
 
 
-def _run_one(config, scale: Scale, healing_cycles: int, seed: int) -> HealingSeries:
+def _build_plan(config, scale: Scale, healing_cycles: int, seed: int) -> ExperimentPlan:
     spec = ScenarioSpec(
         name="catastrophic-failure",
         bootstrap="random",
@@ -86,32 +85,52 @@ def _run_one(config, scale: Scale, healing_cycles: int, seed: int) -> HealingSer
             ),
         ),
     )
-    runtime = prepare_run(spec, config, scale=scale, seed=seed)
-    # Converge, then attach the census so only the healing window pays
-    # for per-cycle dead-link scans; the failure event itself fires at
-    # the start of the first post-convergence cycle and captures the
-    # pre-healing count.
-    runtime.run_to_cycle(scale.cycles)
-    census = DeadLinkCensus(every=1)
-    runtime.add_observer(census)
-    runtime.run_to_end()
-    initial = runtime.handle(FailureHandle).dead_links_after
+    return ExperimentPlan(
+        name=f"figure7 {config.label}",
+        scenario=spec,
+        protocols=(config.label,),
+        scales=(scale,),
+        engines=(None,),
+        seeds=(seed,),
+        measurements=("dead-links-healing", "dead-links-initial"),
+    )
+
+
+def _healing_series(record, scale: Scale) -> HealingSeries:
+    # The windowed census starts at the crash (its window is the
+    # measurement's contract), so the series only needs rebasing onto
+    # crash-relative cycle numbers.
+    series = record.measurements["dead-links-healing"]
+    initial = record.measurements["dead-links-initial"]
     return HealingSeries(
-        label=config.label,
-        cycles=[cycle - scale.cycles for cycle in census.cycles],
-        dead_links=list(census.dead_links),
+        label=record.protocol,
+        cycles=[cycle - scale.cycles for cycle in series["cycles"]],
+        dead_links=list(series["dead_links"]),
         initial_dead_links=initial if initial is not None else 0,
     )
 
 
-def run(scale: Optional[Scale] = None, seed: int = 0) -> Figure7Result:
-    """Reproduce Figure 7 at the given scale."""
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Figure7Result:
+    """Reproduce Figure 7 at the given scale.
+
+    The eight protocol runs are independent plans executed through one
+    shared (optionally parallel) pool -- ``workers`` / ``$REPRO_WORKERS``
+    select the process count, with byte-identical results at any value.
+    """
     if scale is None:
         scale = current_scale()
     healing_cycles = max(30, scale.cycles // 2)
-    series = [
-        _run_one(config, scale, healing_cycles, seed * 6_700_417 + index)
+    plans = [
+        _build_plan(config, scale, healing_cycles, seed * 6_700_417 + index)
         for index, config in enumerate(studied_protocols(scale.view_size))
+    ]
+    results = run_plans(plans, workers=workers)
+    series = [
+        _healing_series(result.records[0], scale) for result in results
     ]
     # Present the paper's two panels: head protocols first, then rand.
     head = [s for s in series if ",head," in s.label]

@@ -32,6 +32,13 @@ eagerly -- unknown event kinds, engines, scales or out-of-range
 parameters exit 2 before any simulation starts -- and ``--out`` writes
 the machine-readable records (final-overlay digests plus measurement
 series) as JSON.
+
+Multi-cell plans (``run-spec``, and the plan-driven artefacts table1 /
+table2 / figure7) execute on ``--workers N`` processes (``0`` = one per
+core; also ``$REPRO_WORKERS``); the ``full`` scale preset parallelizes
+automatically.  Parallel execution is byte-identical to serial -- same
+records, ordering and overlay digests -- pinned by
+``tests/workloads/test_parallel.py``.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, PlanExecutionError
 from repro.experiments import EXPERIMENT_IDS
 from repro.experiments.common import (
     ENGINE_ENV_VAR,
@@ -52,9 +59,11 @@ from repro.experiments.common import (
     LATENCY_ENV_VAR,
     LOSS_ENV_VAR,
     SCALES,
+    WORKERS_ENV_VAR,
     current_scale,
     resolve_engine_name,
     resolve_message_models,
+    resolve_workers,
 )
 
 _DESCRIPTIONS = {
@@ -76,13 +85,16 @@ def run_experiment(
     engine: Optional[str] = None,
     latency: Optional[float] = None,
     loss: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> str:
     """Run one experiment and return its text report.
 
     ``engine`` selects the simulation engine for every helper that honors
-    ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`); ``latency``
-    and ``loss`` are forwarded the same way (``$REPRO_LATENCY`` /
-    ``$REPRO_LOSS``) and only apply to event-driven engines.
+    ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`); ``latency``,
+    ``loss`` and ``workers`` are forwarded the same way
+    (``$REPRO_LATENCY`` / ``$REPRO_LOSS`` / ``$REPRO_WORKERS``) --
+    latency/loss only apply to event-driven engines, ``workers`` to the
+    artefacts that execute multi-cell plans.
     """
     module = importlib.import_module(f"repro.experiments.{experiment_id}")
     scale = current_scale(scale_name)
@@ -90,6 +102,7 @@ def run_experiment(
         (ENGINE_ENV_VAR, engine),
         (LATENCY_ENV_VAR, None if latency is None else repr(latency)),
         (LOSS_ENV_VAR, None if loss is None else repr(loss)),
+        (WORKERS_ENV_VAR, None if workers is None else str(workers)),
     ]
     previous = {var: os.environ.get(var) for var, _ in overrides}
     for var, value in overrides:
@@ -152,6 +165,7 @@ def _cmd_run_spec(
     engine: Optional[str],
     seeds: Optional[List[int]],
     protocols: Optional[List[str]],
+    workers: Optional[int] = None,
 ) -> int:
     import dataclasses
     import json
@@ -192,6 +206,13 @@ def _cmd_run_spec(
             overrides["protocols"] = tuple(protocols)
         if overrides:
             plan = dataclasses.replace(plan, **overrides)
+        # Eager workers validation: a typo'd --workers / $REPRO_WORKERS
+        # exits 2 here, before any simulation starts.  effective_workers
+        # is the executor's own resolution, so the printed count always
+        # matches the PlanResult.workers provenance in --out records.
+        from repro.workloads.plan import effective_workers
+
+        resolved_workers = effective_workers([plan], workers)
     except (ConfigurationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -199,20 +220,30 @@ def _cmd_run_spec(
         f"plan {plan.name!r}: {len(plan.protocols)} protocol(s) x "
         f"scenario x {len(plan.scales)} scale(s) x "
         f"{len(plan.engines)} engine(s) x {len(plan.seeds)} seed(s) "
-        f"= {plan.total_runs} run(s)"
+        f"= {plan.total_runs} run(s) on {resolved_workers} worker(s)"
     )
     started = time.perf_counter()
-    result = run_plan(
-        plan,
-        on_record=lambda record: print(
-            f"  [{record.scenario} | {record.protocol} | {record.engine} | "
-            f"{record.scale} | seed {record.seed}] "
-            f"{record.final_nodes} nodes, "
-            f"{record.completed_exchanges} exchanges, "
-            f"digest {record.views_digest[:12]}, "
-            f"{record.elapsed_seconds:.1f}s"
-        ),
-    )
+    try:
+        result = run_plan(
+            plan,
+            on_record=lambda record: print(
+                f"  [{record.scenario} | {record.protocol} | {record.engine} | "
+                f"{record.scale} | seed {record.seed}] "
+                f"{record.final_nodes} nodes, "
+                f"{record.completed_exchanges} exchanges, "
+                f"digest {record.views_digest[:12]}, "
+                f"{record.elapsed_seconds:.1f}s"
+            ),
+            workers=resolved_workers,
+        )
+    except ConfigurationError as error:
+        # Anything construction missed (defensive; axis entries are
+        # validated eagerly above) still exits cleanly.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except PlanExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - started
     headers = [
         "scenario", "protocol", "engine", "scale", "seed",
@@ -243,6 +274,7 @@ def _cmd_run(
     engine: Optional[str] = None,
     latency: Optional[float] = None,
     loss: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
@@ -265,6 +297,7 @@ def _cmd_run(
             engine, default=scale.default_engine
         )
         latency_model, loss_model = resolve_message_models(latency, loss)
+        resolve_workers(workers, scales=(scale,))
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -290,7 +323,7 @@ def _cmd_run(
     for experiment_id in ids:
         started = time.perf_counter()
         report = run_experiment(
-            experiment_id, scale_name, seed, engine, latency, loss
+            experiment_id, scale_name, seed, engine, latency, loss, workers
         )
         elapsed = time.perf_counter() - started
         print(report)
@@ -358,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the plan's protocols, e.g. '(rand,head,pushpull)' "
         "or '(rand,head,pushpull);H1S1' (repeatable)",
     )
+    spec_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for plan cells (0 = one per core; default: "
+        "$REPRO_WORKERS, then the scale preset -- 'full' parallelizes "
+        "automatically); results are byte-identical to serial execution",
+    )
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "ids",
@@ -397,6 +439,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-message Bernoulli loss probability "
         "(event-driven engines only; also $REPRO_LOSS)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the plan-driven artefacts "
+        "(0 = one per core; also $REPRO_WORKERS); byte-identical results "
+        "at any worker count",
+    )
     return parser
 
 
@@ -415,9 +466,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.engine,
             args.seed,
             args.protocol,
+            args.workers,
         )
     return _cmd_run(
-        args.ids, args.scale, args.seed, args.engine, args.latency, args.loss
+        args.ids,
+        args.scale,
+        args.seed,
+        args.engine,
+        args.latency,
+        args.loss,
+        args.workers,
     )
 
 

@@ -31,9 +31,7 @@ from repro.experiments.common import (
     push_protocols,
 )
 from repro.experiments.reporting import format_table
-from repro.graph.components import component_sizes
-from repro.graph.snapshot import GraphSnapshot
-from repro.workloads import named_scenario, run_scenario
+from repro.workloads import ExperimentPlan, run_plans
 
 PAPER_REFERENCE = {
     "(rand,head,push)": (1.00, 58.36, 4112.09),
@@ -65,29 +63,44 @@ class Table1Result:
     rows: List[Table1Row]
 
 
-def _run_once(config, scale: Scale, seed: int) -> List[int]:
-    """One growing run; returns the component sizes at the final cycle."""
-    runtime = run_scenario(
-        named_scenario("growing-overlay", scale),
-        config,
-        scale=scale,
-        seed=seed,
-    )
-    return component_sizes(GraphSnapshot.from_engine(runtime.engine))
+def run(
+    scale: Optional[Scale] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+) -> Table1Result:
+    """Reproduce Table 1 at the given scale.
 
-
-def run(scale: Optional[Scale] = None, seed: int = 0) -> Table1Result:
-    """Reproduce Table 1 at the given scale."""
+    Each protocol's repetitions form one plan (the per-run seeds differ
+    per protocol, so the four plans share a single -- optionally
+    parallel -- executor: ``workers`` / ``$REPRO_WORKERS``, byte-identical
+    results at any worker count).
+    """
     if scale is None:
         scale = current_scale()
+    configs = push_protocols(scale.view_size)
+    plans = [
+        ExperimentPlan(
+            name=f"table1 {config.label}",
+            scenario="growing-overlay",
+            protocols=(config.label,),
+            scales=(scale,),
+            engines=(None,),
+            seeds=tuple(
+                seed * 1_000_003 + index * 1_009 + run_index
+                for run_index in range(scale.runs)
+            ),
+            measurements=("components",),
+        )
+        for index, config in enumerate(configs)
+    ]
+    results = run_plans(plans, workers=workers)
     rows: List[Table1Row] = []
-    for index, config in enumerate(push_protocols(scale.view_size)):
+    for config, result in zip(configs, results):
         partitioned_clusters: List[int] = []
         partitioned_largest: List[int] = []
         partitioned = 0
-        for run_index in range(scale.runs):
-            run_seed = seed * 1_000_003 + index * 1_009 + run_index
-            sizes = _run_once(config, scale, run_seed)
+        for record in result.records:
+            sizes = record.measurements["components"]
             if len(sizes) > 1:
                 partitioned += 1
                 partitioned_clusters.append(len(sizes))

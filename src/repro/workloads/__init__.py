@@ -43,13 +43,18 @@ builds its runs through this API; the cross-engine byte-identity of a
 spec execution is pinned by ``tests/workloads/test_cross_engine.py``.
 """
 
+from repro.core.errors import PlanExecutionError
 from repro.workloads.library import SCENARIOS, named_scenario
 from repro.workloads.plan import (
     MEASUREMENTS,
     ExperimentPlan,
+    PlanCell,
     PlanResult,
     RunRecord,
+    execute_cell,
+    plan_cells,
     run_plan,
+    run_plans,
 )
 from repro.workloads.runtime import (
     FailureHandle,
@@ -58,6 +63,7 @@ from repro.workloads.runtime import (
     generate_trace,
     prepare_run,
     views_digest,
+    warm_shared_caches,
 )
 from repro.workloads.spec import (
     BOOTSTRAP_KINDS,
@@ -85,18 +91,24 @@ __all__ = [
     "Grow",
     "Heal",
     "Partition",
+    "PlanCell",
+    "PlanExecutionError",
     "PlanResult",
     "RunRecord",
     "ScenarioEvent",
     "ScenarioRuntime",
     "ScenarioSpec",
     "compile_scenario",
+    "execute_cell",
     "generate_trace",
     "named_scenario",
+    "plan_cells",
     "prepare_run",
     "run_plan",
+    "run_plans",
     "run_scenario",
     "views_digest",
+    "warm_shared_caches",
 ]
 
 

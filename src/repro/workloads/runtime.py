@@ -57,6 +57,7 @@ __all__ = [
     "prepare_run",
     "views_digest",
     "generate_trace",
+    "warm_shared_caches",
     "TraceEvent",
 ]
 
@@ -111,6 +112,30 @@ def generate_trace(
         k += 1
     events.sort(key=lambda e: (e.time, e.key[1], e.action))
     return events
+
+
+_ACCELERATED_ENGINES = frozenset({"fast", "fast-event"})
+"""Registry engines that compile the shared C core at first use."""
+
+
+def warm_shared_caches(engine_names: Sequence[Optional[str]]) -> None:
+    """Populate on-disk caches the given engines share, once, up front.
+
+    Called by the parallel plan executor in the *parent* process before
+    any worker spawns: the flat-array engines compile the shared C core
+    into ``~/.cache/repro-fastcore`` at first use, and while concurrent
+    builds are safe (the writer renames atomically), N cold workers
+    would otherwise each pay the full compile.  Warming here means every
+    worker finds the finished library on disk and just ``dlopen``\\ s it.
+    A no-op when no accelerated engine is requested or ``REPRO_NO_ACCEL``
+    disables the core.
+    """
+    if _ACCELERATED_ENGINES.intersection(
+        name for name in engine_names if name is not None
+    ):
+        from repro.simulation._fastcore import load_accelerator
+
+        load_accelerator()
 
 
 def views_digest(source: Any) -> str:

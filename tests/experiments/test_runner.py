@@ -279,3 +279,47 @@ class TestRunSpec:
             ]
         ) == 0
         assert "(rand,rand,pushpull);H2S1" in capsys.readouterr().out
+
+    def test_workers_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run-spec", "plan.json", "--workers", "4"]
+        )
+        assert args.workers == 4
+        args = build_parser().parse_args(["run", "table1", "--workers", "0"])
+        assert args.workers == 0
+
+    def test_parallel_run_spec_matches_serial_records(self, capsys, tmp_path):
+        import json
+
+        plan = dict(self.PLAN)
+        plan["seeds"] = [0, 1]
+        path = self._write(tmp_path, plan)
+        serial_out = tmp_path / "serial.json"
+        parallel_out = tmp_path / "parallel.json"
+        assert main(
+            ["run-spec", path, "--workers", "1", "--out", str(serial_out)]
+        ) == 0
+        assert main(
+            ["run-spec", path, "--workers", "2", "--out", str(parallel_out)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s) on 1 worker(s)" in out
+        assert "2 run(s) on 2 worker(s)" in out
+
+        def canonical(payload_path):
+            records = json.loads(payload_path.read_text())["records"]
+            for record in records:
+                del record["elapsed_seconds"]
+            return records
+
+        assert canonical(serial_out) == canonical(parallel_out)
+
+    def test_bad_workers_flag_fails_eagerly(self, capsys, tmp_path):
+        path = self._write(tmp_path, self.PLAN)
+        assert main(["run-spec", path, "--workers", "-2"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_bad_workers_env_fails_eagerly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert main(["run", "table1"]) == 2
+        assert "REPRO_WORKERS" in capsys.readouterr().err

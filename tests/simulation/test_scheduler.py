@@ -171,3 +171,110 @@ class TestTickScheduler:
 
     def test_peek_empty_returns_none(self):
         assert TickScheduler().peek_tick() is None
+
+    # -- tick-0 behaviour --------------------------------------------------
+
+    def test_tick_zero_schedules_and_pops(self):
+        scheduler = TickScheduler()
+        scheduler.push(0, 5)
+        assert scheduler.peek_tick() == 0
+        assert scheduler.pop() == (0, 5)
+        assert scheduler.now_tick == 0
+
+    def test_tick_zero_reschedulable_after_pop_at_zero(self):
+        # now_tick stays 0 after a tick-0 pop, so tick 0 is not "the
+        # past" yet -- more same-tick work may arrive (FIFO after the
+        # first entry), while tick -1 is rejected.
+        scheduler = TickScheduler()
+        scheduler.push(0, 1)
+        scheduler.pop()
+        scheduler.push(0, 2)
+        assert scheduler.pop() == (0, 2)
+        with pytest.raises(SimulationError):
+            scheduler.push(-1, 0)
+
+    def test_interleaved_tick_zero_and_later(self):
+        scheduler = TickScheduler()
+        scheduler.push(7, 1)
+        scheduler.push(0, 2)
+        scheduler.push(0, 3)
+        assert [scheduler.pop() for _ in range(3)] == [
+            (0, 2),
+            (0, 3),
+            (7, 1),
+        ]
+
+    # -- duplicate packed keys ---------------------------------------------
+
+    def test_duplicate_tick_data_pairs_all_survive_in_fifo_order(self):
+        # Identical (tick, data) pushes must not collapse or reorder:
+        # the packed key stays unique through the FIFO sequence bits.
+        scheduler = TickScheduler()
+        for _ in range(4):
+            scheduler.push(5, 9)
+        scheduler.push(5, 8)
+        assert len(scheduler) == 5
+        assert [scheduler.pop() for _ in range(5)] == [
+            (5, 9),
+            (5, 9),
+            (5, 9),
+            (5, 9),
+            (5, 8),
+        ]
+
+    def test_duplicates_across_many_ticks_keep_stable_order(self):
+        rng = random.Random(99)
+        scheduler = TickScheduler(data_bits=8)
+        expected = []
+        for index in range(2_000):
+            tick = rng.randrange(0, 5)  # heavy collision pressure
+            data = rng.randrange(0, 4)
+            scheduler.push(tick, data)
+            expected.append((tick, index, data))
+        expected.sort(key=lambda entry: (entry[0], entry[1]))
+        popped = [scheduler.pop() for _ in range(len(expected))]
+        assert popped == [(tick, data) for tick, _, data in expected]
+
+    # -- integer-tick overflow boundary ------------------------------------
+
+    def test_ticks_across_the_64_bit_packed_key_boundary(self):
+        # With 28 data bits + 40 sequence bits the packed key exceeds
+        # 64 bits as soon as tick > 0; ticks near and beyond 2^63 (where
+        # fixed-width schedulers overflow) must still order and
+        # round-trip exactly.
+        scheduler = TickScheduler()
+        boundary = 1 << 63
+        for tick in (boundary + 1, boundary - 1, boundary):
+            scheduler.push(tick, 3)
+        assert [scheduler.pop()[0] for _ in range(3)] == [
+            boundary - 1,
+            boundary,
+            boundary + 1,
+        ]
+        assert scheduler.now_tick == boundary + 1
+
+    def test_huge_tick_round_trips_with_max_data(self):
+        scheduler = TickScheduler()
+        tick = (1 << 96) + 12345
+        data = (1 << 28) - 1
+        scheduler.push(tick, data)
+        assert scheduler.peek_tick() == tick
+        assert scheduler.pop() == (tick, data)
+
+    def test_data_boundaries_exact(self):
+        scheduler = TickScheduler(data_bits=6)
+        scheduler.push(1, 0)
+        scheduler.push(1, 63)  # == mask: allowed
+        with pytest.raises(SimulationError):
+            scheduler.push(1, 64)  # mask + 1
+        with pytest.raises(SimulationError):
+            scheduler.push(1, -1)
+        assert [scheduler.pop()[1] for _ in range(2)] == [0, 63]
+
+    def test_min_width_data_bits(self):
+        scheduler = TickScheduler(data_bits=1)
+        scheduler.push(2, 1)
+        scheduler.push(2, 0)
+        assert [scheduler.pop() for _ in range(2)] == [(2, 1), (2, 0)]
+        with pytest.raises(SimulationError):
+            TickScheduler(data_bits=0)

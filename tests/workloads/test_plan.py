@@ -99,6 +99,49 @@ class TestJsonRoundTrip:
         with pytest.raises(ConfigurationError, match="not valid JSON"):
             ExperimentPlan.from_json("]")
 
+    def test_inline_scale_round_trips(self):
+        import dataclasses
+
+        from repro.experiments.common import SCALES
+
+        tiny = dataclasses.replace(SCALES["quick"], name="tiny", n_nodes=50)
+        plan = small_plan(scales=(tiny,), n_nodes=None)
+        restored = ExperimentPlan.from_json(plan.to_json())
+        assert restored.scales == (tiny,)
+        assert restored == plan
+
+    def test_inline_scale_with_unknown_field_rejected(self):
+        payload = small_plan().to_dict()
+        payload["scales"] = [{"name": "tiny", "warp_factor": 9}]
+        with pytest.raises(ConfigurationError, match="invalid inline scale"):
+            ExperimentPlan.from_dict(payload)
+
+    def test_inline_scale_bad_field_type_rejected_eagerly(self):
+        # A hand-written document with n_nodes as a string must die at
+        # construction, not mid-study with a TypeError from an engine.
+        import dataclasses as dc
+
+        from repro.experiments.common import SCALES
+
+        payload = small_plan().to_dict()
+        fields = dc.asdict(SCALES["quick"])
+        fields["n_nodes"] = "40"
+        payload["scales"] = [fields]
+        with pytest.raises(ConfigurationError, match="n_nodes"):
+            ExperimentPlan.from_dict(payload)
+
+    def test_inline_scale_unknown_default_engine_rejected_eagerly(self):
+        import dataclasses as dc
+
+        from repro.experiments.common import SCALES
+
+        payload = small_plan().to_dict()
+        fields = dc.asdict(SCALES["quick"])
+        fields["default_engine"] = "warp"
+        payload["scales"] = [fields]
+        with pytest.raises(ConfigurationError, match="default_engine"):
+            ExperimentPlan.from_dict(payload)
+
 
 class TestRunPlan:
     def test_records_cover_cross_product(self):
@@ -151,6 +194,18 @@ class TestRunPlan:
         assert payload["plan"]["name"] == "small"
         assert len(payload["records"]) == 1
 
+    def test_inline_scale_runs_and_names_record(self):
+        import dataclasses
+
+        from repro.experiments.common import SCALES
+
+        tiny = dataclasses.replace(
+            SCALES["quick"], name="tiny", n_nodes=40, cycles=8
+        )
+        record = run_plan(small_plan(scales=(tiny,), n_nodes=None)).records[0]
+        assert record.scale == "tiny"
+        assert record.final_nodes < 40  # the crash fired at the ad-hoc size
+
     def test_every_measurement_runs(self):
         plan = small_plan(
             scenario="random-convergence",
@@ -160,3 +215,75 @@ class TestRunPlan:
         record = run_plan(plan).records[0]
         assert set(record.measurements) == set(MEASUREMENTS)
         assert record.measurements["degrees"]["mean"] > 0
+        # No failure event in this scenario: the initial-dead-links
+        # measurement reports null rather than erroring.
+        assert record.measurements["dead-links-initial"] is None
+
+    def test_dead_links_initial_captures_pre_healing_count(self):
+        record = run_plan(
+            small_plan(measurements=("dead-links", "dead-links-initial"))
+        ).records[0]
+        initial = record.measurements["dead-links-initial"]
+        assert initial is not None and initial > 0
+        # Healing only shrinks the census taken after the crash cycle.
+        post_crash = record.measurements["dead-links"]["dead_links"][5:]
+        assert max(post_crash) <= initial
+
+    def test_dead_links_healing_window_matches_full_census_tail(self):
+        # The windowed census records exactly the post-crash suffix of
+        # the full one (crash at cycle 5 of 8) -- same numbers, none of
+        # the pre-crash scans.
+        record = run_plan(
+            small_plan(measurements=("dead-links", "dead-links-healing"))
+        ).records[0]
+        full = record.measurements["dead-links"]
+        windowed = record.measurements["dead-links-healing"]
+        assert windowed["cycles"] == [6, 7, 8]
+        assert windowed["cycles"] == full["cycles"][5:]
+        assert windowed["dead_links"] == full["dead_links"][5:]
+
+    def test_dead_links_healing_covers_whole_run_without_failure(self):
+        record = run_plan(
+            small_plan(
+                scenario="random-convergence",
+                cycles=4,
+                measurements=("dead-links-healing",),
+            )
+        ).records[0]
+        assert record.measurements["dead-links-healing"]["cycles"] == [
+            1,
+            2,
+            3,
+            4,
+        ]
+
+
+class TestEngineMetadata:
+    # Regression: a cell run via the scale's default engine used to be
+    # indistinguishable from an explicit --engine in --out records; the
+    # record now carries both the resolved engine and the requested one.
+
+    def test_resolved_engine_recorded_when_defaulted(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        record = run_plan(small_plan(engines=(None,))).records[0]
+        assert record.engine == "cycle"  # quick's default, resolved
+        assert record.engine_requested is None
+        payload = record.to_dict()
+        assert payload["engine"] == "cycle"
+        assert payload["engine_requested"] is None
+
+    def test_explicit_engine_distinguishable_from_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        explicit = run_plan(small_plan(engines=("cycle",))).records[0]
+        defaulted = run_plan(small_plan(engines=(None,))).records[0]
+        assert explicit.engine == defaulted.engine == "cycle"
+        assert explicit.engine_requested == "cycle"
+        assert defaulted.engine_requested is None
+        # Metadata only -- the simulation itself is identical.
+        assert explicit.views_digest == defaulted.views_digest
+
+    def test_env_supplied_engine_resolved_in_record(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        record = run_plan(small_plan(engines=(None,))).records[0]
+        assert record.engine == "fast"
+        assert record.engine_requested is None
