@@ -7,7 +7,8 @@ number; each round every node picks a peer through the sampling service
 and both set their value to the pair's average.  The variance of the
 values decays exponentially -- IF the sampling is good enough.
 
-This example measures the per-round variance reduction factor under
+This example runs :class:`repro.services.PushPullAveraging` and measures
+the per-round variance reduction factor under
 
 - the gossip-based service (Newscast views),
 - the ideal oracle (uniform sampling), and
@@ -15,83 +16,74 @@ This example measures the per-round variance reduction factor under
   to one fixed partner), the failure mode the paper warns about in
   Section 2 ("samples are not drawn from a fixed, static subset").
 
+Samples that land on departed nodes are skipped and counted (the
+``stale_samples`` field) rather than crashing the round -- on a churned
+overlay that counter is the price of gossip's staleness.
+
 Run with::
 
     python examples/aggregation.py [n_nodes]
 """
 
 import random
-import statistics
 import sys
-from typing import Callable, Dict, List
 
 from repro import CycleEngine, newscast
 from repro.baselines.oracle import OracleGroup
+from repro.services import PushPullAveraging, sampling_services
 from repro.simulation.scenarios import random_bootstrap
 
-Address = int
 
+class FixedPartner:
+    """Degenerate sampling service: ``get_peer()`` is a constant."""
 
-def run_averaging(
-    addresses: List[Address],
-    pick_peer: Callable[[Address], Address],
-    rounds: int,
-    rng: random.Random,
-) -> List[float]:
-    """Push-pull averaging; returns the variance after each round."""
-    values: Dict[Address, float] = {a: rng.uniform(0, 100) for a in addresses}
-    variances = [statistics.pvariance(values.values())]
-    for _ in range(rounds):
-        order = list(addresses)
-        rng.shuffle(order)
-        for address in order:
-            peer = pick_peer(address)
-            if peer is None:
-                continue
-            mean = (values[address] + values[peer]) / 2
-            values[address] = mean
-            values[peer] = mean
-        variances.append(statistics.pvariance(values.values()))
-    return variances
+    def __init__(self, partner):
+        self.partner = partner
+
+    def get_peer(self):
+        return self.partner
 
 
 def main() -> None:
     n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 300
     rounds = 15
-    rng = random.Random(11)
 
     engine = CycleEngine(newscast(view_size=15), seed=3)
     addresses = random_bootstrap(engine, n_nodes=n_nodes)
     engine.run(30)
-    gossip_services = {a: engine.service(a) for a in addresses}
 
     group = OracleGroup(seed=4)
-    oracle_services = {a: group.service(a) for a in addresses}
-
-    static_partner = {
-        a: addresses[(i + 1) % len(addresses)]
-        for i, a in enumerate(addresses)
-    }
-
     samplers = {
-        "gossip service": lambda a: gossip_services[a].get_peer(),
-        "oracle (uniform)": lambda a: oracle_services[a].get_peer(),
-        "static partner": lambda a: static_partner[a],
+        "gossip service": sampling_services(engine),
+        "oracle (uniform)": {a: group.service(a) for a in addresses},
+        "static partner": {
+            a: FixedPartner(addresses[(i + 1) % len(addresses)])
+            for i, a in enumerate(addresses)
+        },
     }
+
+    # Every sampler averages the same initial values, so the variance
+    # columns differ only through sampling quality.
+    seeder = random.Random(11)
+    values = {a: seeder.uniform(0, 100) for a in addresses}
 
     print(f"push-pull averaging, {n_nodes} nodes, {rounds} rounds\n")
     results = {}
-    for name, pick in samplers.items():
-        results[name] = run_averaging(addresses, pick, rounds, random.Random(5))
+    for name, services in samplers.items():
+        results[name] = PushPullAveraging(
+            services, values=values, rounds=rounds, rng=random.Random(5)
+        ).run()
 
     print(f"{'round':>5s} " + " ".join(f"{name:>18s}" for name in results))
     for i in range(rounds + 1):
-        row = " ".join(f"{results[name][i]:18.4f}" for name in results)
+        row = " ".join(
+            f"{results[name].variances[i]:18.4f}" for name in results
+        )
         print(f"{i:5d} {row}")
 
-    for name, variances in results.items():
-        if variances[0] > 0 and variances[5] > 0:
-            factor = (variances[5] / variances[0]) ** (1 / 5)
+    for name, result in results.items():
+        factor = result.reduction_factor
+        if factor is not None:
             print(f"\n{name}: variance shrinks ~{1 / factor:.2f}x per round",
                   end="")
     print(

@@ -2,13 +2,10 @@
 """Epidemic broadcast on top of the peer sampling service.
 
 Information dissemination is the motivating application of gossip
-protocols (paper Section 1).  This example implements the classic
-push-based rumor spreading loop:
-
-    every round, each informed node sends the rumor to ``fanout`` peers
-    obtained from its peer sampling service.
-
-and compares two service implementations:
+protocols (paper Section 1).  This example runs
+:class:`repro.services.AntiEntropyBroadcast` -- push rumor spreading
+where every informed node sends the rumor to ``fanout`` peers drawn
+from its sampling service -- and compares two service implementations:
 
 - the gossip-based service (Newscast views), and
 - the ideal oracle (independent uniform sampling over full membership),
@@ -16,71 +13,52 @@ and compares two service implementations:
 measuring rounds-to-full-coverage.  The punchline: despite the overlay
 *not* being uniformly random (the paper's result), dissemination speed is
 essentially indistinguishable -- which is why peer sampling is such an
-effective primitive.
+effective primitive.  Coverage reporting is honest: a run that stops at
+the round cap is reported as partial coverage, never rounded up.
 
 Run with::
 
     python examples/broadcast.py [n_nodes]
 """
 
-import random
 import sys
-from typing import Dict, List, Set
 
 from repro import CycleEngine, newscast
 from repro.baselines.oracle import OracleGroup
+from repro.services import AntiEntropyBroadcast, sampling_services
 from repro.simulation.scenarios import random_bootstrap
-
-
-def spread_with_services(services: Dict, rng: random.Random, fanout: int = 2):
-    """Run push rumor-spreading until coverage; return per-round counts."""
-    addresses = list(services)
-    informed: Set = {addresses[0]}
-    coverage: List[int] = [len(informed)]
-    while len(informed) < len(addresses) and len(coverage) < 100:
-        newly_informed: Set = set()
-        for address in informed:
-            for _ in range(fanout):
-                peer = services[address].get_peer()
-                if peer is not None and peer not in informed:
-                    newly_informed.add(peer)
-        informed |= newly_informed
-        coverage.append(len(informed))
-    return coverage
 
 
 def main() -> None:
     n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 500
     fanout = 2
-    rng = random.Random(7)
 
     # -- gossip-based sampling service ---------------------------------------
     engine = CycleEngine(newscast(view_size=15), seed=1)
     random_bootstrap(engine, n_nodes=n_nodes)
     engine.run(30)  # converge the overlay first
-    gossip_services = {
-        address: engine.service(address) for address in engine.addresses()
-    }
+    gossip_services = sampling_services(engine)
 
     # -- ideal uniform sampling (oracle baseline) ----------------------------
     group = OracleGroup(seed=2)
     oracle_services = {
-        address: group.service(address) for address in engine.addresses()
+        address: group.service(address) for address in gossip_services
     }
 
     print(f"push rumor spreading, {n_nodes} nodes, fanout {fanout}\n")
+    gossip = AntiEntropyBroadcast(gossip_services, fanout=fanout).run()
+    oracle = AntiEntropyBroadcast(oracle_services, fanout=fanout).run()
+
     print(f"{'round':>5s} {'gossip service':>15s} {'oracle service':>15s}")
-    gossip = spread_with_services(gossip_services, rng, fanout)
-    oracle = spread_with_services(oracle_services, rng, fanout)
-    rounds = max(len(gossip), len(oracle))
+    rounds = max(len(gossip.coverage), len(oracle.coverage))
     for i in range(rounds):
-        g = gossip[i] if i < len(gossip) else gossip[-1]
-        o = oracle[i] if i < len(oracle) else oracle[-1]
+        g = gossip.coverage[min(i, gossip.rounds)]
+        o = oracle.coverage[min(i, oracle.rounds)]
         print(f"{i:5d} {g:15d} {o:15d}")
 
     print(
-        f"\nfull coverage in {len(gossip) - 1} rounds via gossip views vs "
-        f"{len(oracle) - 1} rounds via the oracle."
+        f"\ngossip views: {gossip.summary()}"
+        f"\noracle:       {oracle.summary()}"
         "\nnear-uniform sampling is good enough for epidemic dissemination."
     )
 

@@ -41,11 +41,16 @@ class PeerSamplingService:
     acquisition per sample.
     """
 
-    __slots__ = ("_node", "_initialized", "_lock")
+    __slots__ = ("_node", "_initialized", "_init_done", "_lock")
 
     def __init__(self, node: GossipNode) -> None:
         self._node = node
         self._initialized = len(node.view) > 0
+        # A view that was seeded before the service existed counts as an
+        # *applied* init (the bootstrap happened out of band); a service
+        # built on an empty view keeps its one explicit init() pending
+        # even if the gossip loop fills the view first -- see init().
+        self._init_done = self._initialized
         self._lock = threading.RLock()
 
     @property
@@ -85,20 +90,32 @@ class PeerSamplingService:
     def init(self, contacts: Iterable[Address] = ()) -> None:
         """Initialize the service with zero or more contact addresses.
 
-        Contacts enter the view with hop count 0.  Calling ``init`` again is
-        a no-op (the paper: "initializes the service ... if this has not
-        been done before").
+        Contacts enter the view with hop count 0 and **win capacity
+        ties**: when the node's view already holds entries (a daemon
+        whose gossip loop populated the view between service
+        construction and ``init``), the caller's contacts are placed
+        first and pre-existing entries are dropped from the tail if the
+        combined list exceeds the view capacity -- bootstrap contacts
+        are the one piece of information the caller explicitly provided,
+        so they must never be silently discarded in favor of whatever
+        the view happened to contain.
+
+        Calling ``init`` again is a no-op (the paper: "initializes the
+        service ... if this has not been done before"); a view seeded
+        before the service was constructed also counts as initialized.
         """
         with self._lock:
-            if self.initialized:
+            if self._init_done:
                 return
-            entries: List[NodeDescriptor] = list(self._node.view)
-            for contact in contacts:
-                if contact == self._node.address:
-                    continue
-                entries.append(NodeDescriptor(contact, 0))
+            entries: List[NodeDescriptor] = [
+                NodeDescriptor(contact, 0)
+                for contact in contacts
+                if contact != self._node.address
+            ]
+            entries.extend(self._node.view)
             capacity = self._node.view.capacity
             self._node.view.replace(entries[:capacity])
+            self._init_done = True
             self._initialized = True
 
     def get_peer(self) -> Optional[Address]:
@@ -126,16 +143,30 @@ class PeerSamplingService:
             return self._node.sample_peer()
 
     def get_peers(self, count: int) -> List[Address]:
-        """Sample ``count`` peers by repeated ``get_peer`` calls.
+        """Sample ``count`` peers in one atomic batch.
 
         Convenience wrapper for applications needing several peers (the
         paper notes applications "can call this method repeatedly");
         duplicates are possible, exactly as with repeated calls.
+
+        The whole batch is drawn while holding :attr:`lock`, so a
+        concurrently gossiping daemon can never interleave a merge
+        between two draws of one batch.  A draw that comes back empty
+        while the view still holds entries is retried rather than
+        truncating the batch; the returned list is shorter than
+        ``count`` only when the node's view is empty at batch time --
+        the one genuine shortfall, which callers detect by comparing
+        lengths.
         """
         samples: List[Address] = []
-        for _ in range(count):
-            peer = self.get_peer()
-            if peer is None:
-                break
-            samples.append(peer)
+        if count <= 0:
+            return samples
+        with self._lock:
+            while len(samples) < count:
+                peer = self.get_peer()
+                if peer is None:
+                    if len(self._node.view) == 0:
+                        break
+                    continue
+                samples.append(peer)
         return samples

@@ -30,5 +30,7 @@ EXPERIMENT_IDS = (
     "figure5",
     "figure6",
     "figure7",
+    "services",
 )
-"""All reproducible paper artefacts, in paper order."""
+"""All reproducible paper artefacts, in paper order (plus ``services``,
+the Section 1 applications run over a churned overlay)."""

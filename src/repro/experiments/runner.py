@@ -75,6 +75,7 @@ _DESCRIPTIONS = {
     "figure5": "autocorrelation of a node's degree",
     "figure6": "connectivity under massive node removal",
     "figure7": "self-healing after a 50% crash",
+    "services": "gossip services (broadcast/averaging/search) vs oracle",
 }
 
 

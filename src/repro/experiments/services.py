@@ -1,0 +1,217 @@
+"""Services artefact: near-uniform sampling is good enough -- even churned.
+
+The paper's evaluation shows the gossip-based service's samples are
+close to, but not, uniform (Sections 4-6).  This artefact closes the
+loop the way Section 1 motivates the service in the first place: it runs
+the three canonical gossip *applications* -- anti-entropy broadcast,
+push-pull averaging, TTL random-walk search (:mod:`repro.services`) --
+over an overlay churned throughout its whole history, side by side with
+the ideal uniform oracle, and shows the application-level numbers are
+essentially indistinguishable:
+
+- broadcast reaches full coverage in the same number of rounds;
+- averaging variance shrinks by the same per-round factor;
+- random-walk hit rates match at equal TTL.
+
+The overlay is produced by the ``continuous-churn`` scenario, so the
+gossip services additionally pay for stale descriptors (dead links);
+the stale-sample counters quantify that tax.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import ProtocolConfig
+from repro.experiments.common import Scale, current_scale
+from repro.experiments.reporting import format_series, format_table
+from repro.services import (
+    AntiEntropyBroadcast,
+    AveragingResult,
+    BroadcastResult,
+    PushPullAveraging,
+    RandomWalkSearch,
+    SearchResult,
+    sampling_services,
+    scatter_key,
+)
+from repro.workloads import named_scenario, prepare_run
+
+PROTOCOL_LABEL = "(rand,head,pushpull)"
+"""The service substrate under test: the paper's Newscast-like instance."""
+
+AVERAGING_ROUNDS = 15
+SEARCH_QUERIES = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class ServicesResult:
+    """Gossip-vs-oracle results for all three services."""
+
+    scale: Scale
+    n_nodes: int
+    """Live nodes of the churned overlay the services ran over."""
+    broadcast: Dict[str, BroadcastResult]
+    averaging: Dict[str, AveragingResult]
+    search: Dict[str, SearchResult]
+    """Each keyed by sampler name: ``"gossip"`` / ``"oracle"``."""
+
+
+def run(scale: Optional[Scale] = None, seed: int = 0) -> ServicesResult:
+    """Run the three services over a churned overlay and the oracle."""
+    if scale is None:
+        scale = current_scale()
+    config = ProtocolConfig.from_label(
+        PROTOCOL_LABEL, view_size=scale.view_size
+    )
+    runtime = prepare_run(
+        named_scenario("continuous-churn", scale),
+        config,
+        scale=scale,
+        seed=seed,
+    )
+    runtime.run_to_end()
+    engine = runtime.engine
+
+    from repro.baselines.oracle import OracleGroup
+
+    gossip = sampling_services(engine)
+    group = OracleGroup(seed=seed * 7_368_787 + 1)
+    oracle = {address: group.service(address) for address in gossip}
+
+    # Shared inputs: both samplers average the same initial values and
+    # search the same replica placement, so every difference in the
+    # tables below is attributable to sampling quality alone.
+    seeder = random.Random(seed * 2_147_483_629 + 5)
+    values = {address: seeder.uniform(0, 100) for address in gossip}
+    copies = max(1, len(gossip) // 100)
+    holders = scatter_key(list(gossip), copies, seeder)
+    ttl = min(256, 4 * max(1, len(gossip) // copies))
+
+    broadcast: Dict[str, BroadcastResult] = {}
+    averaging: Dict[str, AveragingResult] = {}
+    search: Dict[str, SearchResult] = {}
+    for name, services in (("gossip", gossip), ("oracle", oracle)):
+        broadcast[name] = AntiEntropyBroadcast(
+            services, fanout=2, mode="push"
+        ).run()
+        averaging[name] = PushPullAveraging(
+            services,
+            values=values,
+            rounds=AVERAGING_ROUNDS,
+            rng=random.Random(seed * 48_271 + 11),
+        ).run()
+        search[name] = RandomWalkSearch(
+            services, holders, ttl=ttl, rng=random.Random(seed * 69_621 + 23)
+        ).run(queries=min(SEARCH_QUERIES, len(services)))
+    return ServicesResult(
+        scale=scale,
+        n_nodes=len(gossip),
+        broadcast=broadcast,
+        averaging=averaging,
+        search=search,
+    )
+
+
+def report(result: ServicesResult) -> str:
+    """Render the gossip-vs-oracle comparison tables."""
+    blocks: List[str] = []
+    names = list(result.broadcast)
+
+    longest = max(len(result.broadcast[n].coverage) for n in names)
+    columns = []
+    for name in names:
+        series = list(result.broadcast[name].coverage)
+        series += [series[-1]] * (longest - len(series))
+        columns.append((name, series))
+    blocks.append(
+        format_series(
+            "round",
+            list(range(longest)),
+            columns,
+            precision=0,
+            title=(
+                f"broadcast coverage under continuous churn "
+                f"(N={result.n_nodes} live, fanout 2, "
+                f"scale={result.scale.name})"
+            ),
+            max_rows=12,
+        )
+    )
+
+    rows: List[Sequence[object]] = []
+    for name in names:
+        b = result.broadcast[name]
+        a = result.averaging[name]
+        s = result.search[name]
+        factor = a.reduction_factor
+        rows.append(
+            [
+                name,
+                b.summary(),
+                "-" if factor is None else f"{1 / factor:.2f}x/round",
+                f"{s.hit_rate:.0%} (ttl {s.ttl})",
+                b.stale_samples + a.stale_samples + s.stale_samples,
+            ]
+        )
+    blocks.append(
+        format_table(
+            [
+                "sampler",
+                "broadcast",
+                "variance shrink",
+                "search hits",
+                "stale draws",
+            ],
+            rows,
+            title="services summary (gossip vs ideal uniform oracle)",
+        )
+    )
+    blocks.append(_verdict(result))
+    return "\n\n".join(blocks)
+
+
+def _verdict(result: ServicesResult) -> str:
+    """State the honest conclusion the numbers actually support.
+
+    The punchline -- near-uniform sampling is good enough -- only holds
+    while the churned overlay stays connected.  At small view sizes the
+    overlay can partition under sustained churn (the paper's Section 4
+    observation that partitioning risk grows as the view shrinks), and
+    then the gossip services *expose* the partition: broadcast stalls at
+    the component boundary and walks cannot leave it.  Claiming success
+    there would repeat the dishonest-coverage bug this package fixed.
+    """
+    gossip_b = result.broadcast["gossip"]
+    gossip_s = result.search["gossip"]
+    oracle_s = result.search["oracle"]
+    kept_pace = gossip_b.covered and (
+        gossip_s.hit_rate >= 0.8 * oracle_s.hit_rate
+    )
+    if kept_pace:
+        return (
+            "near-uniform sampling is good enough: the gossip-backed\n"
+            "services match the oracle's dissemination speed, aggregation\n"
+            "convergence and lookup hit rate -- while paying only the\n"
+            "stale draws churn leaves in the views."
+        )
+    return (
+        f"the gossip services fell short of the oracle at this scale:\n"
+        f"broadcast reached {gossip_b.informed}/{gossip_b.n_nodes} nodes, "
+        f"search hit {gossip_s.hit_rate:.0%} vs {oracle_s.hit_rate:.0%}.\n"
+        f"that is the overlay partitioning under sustained churn at\n"
+        f"view size c={result.scale.view_size} -- small views trade the "
+        f"paper's punchline for partition\n"
+        f"risk; rerun at --scale default or full (c>=15) to re-derive it."
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run and print at the ambient scale."""
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Gossip services layered on the two-method peer sampling API.
+
+The paper's thesis is that peer sampling is *middleware*: a substrate
+that dissemination, aggregation and search services build on (Section
+1).  This package makes the claim executable.  Every service consumes
+nothing but ``get_peer()`` draws from an ``address -> sampling service``
+mapping (:func:`sampling_services` builds one from any engine, a
+:class:`~repro.net.cluster.LocalCluster` of live daemons, or the
+:class:`~repro.baselines.oracle.OracleGroup` baseline), so the same
+service code runs on a 10^4-10^5-node flat-array simulation and over
+real UDP sockets:
+
+- :class:`AntiEntropyBroadcast` -- push / push-pull rumor spreading with
+  fanout and honest rounds-to-coverage accounting;
+- :class:`PushPullAveraging` -- gossip aggregation with per-round
+  variance tracking and a stale-sample counter;
+- :class:`RandomWalkSearch` -- TTL random-walk lookup with hit-rate
+  accounting (:func:`scatter_key` places the replicas);
+- :class:`GossipFrequentItems` / :class:`FrequentItemsSketch` --
+  space-saving heavy-hitter sketches merged by gossip.
+
+The matching workload measurements (``broadcast-coverage``,
+``aggregation-variance``, ``search-hit-rate``) attach to any
+:class:`~repro.workloads.plan.ExperimentPlan` cell, and the
+``services`` experiment artefact re-derives the paper's punchline:
+near-uniform sampling is good enough for all of them, even under churn.
+"""
+
+from repro.services.aggregation import AveragingResult, PushPullAveraging
+from repro.services.base import (
+    SamplingService,
+    participant_list,
+    sampling_services,
+)
+from repro.services.broadcast import AntiEntropyBroadcast, BroadcastResult
+from repro.services.search import RandomWalkSearch, SearchResult, scatter_key
+from repro.services.sketch import (
+    FrequentItemsResult,
+    FrequentItemsSketch,
+    GossipFrequentItems,
+)
+
+__all__ = [
+    "AntiEntropyBroadcast",
+    "AveragingResult",
+    "BroadcastResult",
+    "FrequentItemsResult",
+    "FrequentItemsSketch",
+    "GossipFrequentItems",
+    "PushPullAveraging",
+    "RandomWalkSearch",
+    "SamplingService",
+    "SearchResult",
+    "participant_list",
+    "sampling_services",
+    "scatter_key",
+]

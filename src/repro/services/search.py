@@ -1,0 +1,159 @@
+"""TTL random-walk search over the peer sampling service.
+
+Unstructured-overlay lookup in the style of Ferretti's gossip search
+(PAPERS.md): a query starts at an origin node and performs a random walk
+-- each hop drawn from the *current* node's sampling service -- until it
+reaches a node storing the wanted key or the TTL expires.  With
+near-uniform sampling and the key replicated on a fraction ``p`` of the
+nodes, the hit probability after ``t`` hops approaches
+``1 - (1 - p)**t`` -- which is why sampling quality shows up directly in
+the hit rate.
+
+Stale draws (addresses outside the participant set, i.e. departed nodes
+under churn) consume a TTL step without moving the walk and are counted
+in :attr:`SearchResult.stale_samples` -- a walk through a churny overlay
+pays for its dead links.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Mapping, Optional, Sequence, Set
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError
+from repro.services.base import SamplingService, participant_list
+
+__all__ = ["RandomWalkSearch", "SearchResult", "scatter_key"]
+
+
+def scatter_key(
+    addresses: Sequence[Address],
+    copies: int,
+    rng: random.Random,
+) -> Set[Address]:
+    """Choose ``copies`` distinct holders for a key, uniformly."""
+    if not 1 <= copies <= len(addresses):
+        raise ConfigurationError(
+            f"copies must be in [1, {len(addresses)}], got {copies}"
+        )
+    return set(rng.sample(list(addresses), copies))
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """Hit-rate accounting for a batch of random-walk lookups."""
+
+    n_nodes: int
+    holders: int
+    """Nodes storing the key."""
+    ttl: int
+    queries: int
+    hops: List[Optional[int]]
+    """Per query: hops until the key was found, ``None`` on a miss."""
+    stale_samples: int
+    """Draws that landed outside the participant set; each consumed one
+    TTL step without advancing the walk."""
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for h in self.hops if h is not None)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def mean_hops(self) -> Optional[float]:
+        """Mean hops over the successful queries (``None`` if none)."""
+        found = [h for h in self.hops if h is not None]
+        if not found:
+            return None
+        return sum(found) / len(found)
+
+
+class RandomWalkSearch:
+    """TTL-bounded random-walk lookup consuming only ``get_peer()``.
+
+    Parameters
+    ----------
+    services:
+        ``address -> sampling service`` mapping (see
+        :func:`~repro.services.base.sampling_services`).
+    holders:
+        The addresses storing the key (e.g. from :func:`scatter_key`).
+        Holders outside the participant set are ignored.
+    ttl:
+        Maximum steps per walk.
+    rng:
+        Draws the query origins in :meth:`run`.  Pass the engine's RNG
+        for byte-identical runs across ``cycle``/``fast``; defaults to
+        a fresh ``Random(0)``.
+    """
+
+    def __init__(
+        self,
+        services: Mapping[Address, SamplingService],
+        holders: Sequence[Address],
+        *,
+        ttl: int = 64,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not services:
+            raise ConfigurationError("search needs at least one service")
+        if ttl < 1:
+            raise ConfigurationError(f"ttl must be >= 1, got {ttl}")
+        self.services = dict(services)
+        self.holders = {h for h in holders if h in self.services}
+        if not self.holders:
+            raise ConfigurationError(
+                "no holder is a participant -- the key is unfindable"
+            )
+        self.ttl = ttl
+        self.rng = rng if rng is not None else random.Random(0)
+        self._stale = 0
+
+    def search(self, origin: Address) -> Optional[int]:
+        """One walk from ``origin``; hops to a holder, or ``None``.
+
+        A walk starting *at* a holder returns 0 hops.
+        """
+        if origin not in self.services:
+            raise ConfigurationError(
+                f"origin {origin!r} is not a participant"
+            )
+        if origin in self.holders:
+            return 0
+        current = origin
+        for step in range(1, self.ttl + 1):
+            peer = self.services[current].get_peer()
+            if peer is None or peer not in self.services:
+                if peer is not None:
+                    self._stale += 1
+                # Stale or empty draw: the step is spent, the walk stays.
+                continue
+            current = peer
+            if current in self.holders:
+                return step
+        return None
+
+    def run(self, queries: int) -> SearchResult:
+        """Execute ``queries`` walks from uniform random origins."""
+        if queries < 1:
+            raise ConfigurationError(
+                f"queries must be >= 1, got {queries}"
+            )
+        addresses = participant_list(self.services)
+        self._stale = 0
+        hops = [
+            self.search(self.rng.choice(addresses)) for _ in range(queries)
+        ]
+        return SearchResult(
+            n_nodes=len(addresses),
+            holders=len(self.holders),
+            ttl=self.ttl,
+            queries=queries,
+            hops=hops,
+            stale_samples=self._stale,
+        )

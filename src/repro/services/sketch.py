@@ -1,0 +1,242 @@
+"""Gossip-merged frequent-items sketches (space-saving / Misra-Gries).
+
+Cafaro et al. (PAPERS.md) mine frequent items in fully distributed
+streams by gossiping *mergeable* counter sketches over an unstructured
+overlay -- another service that needs nothing but ``getPeer()``.
+:class:`FrequentItemsSketch` is the classic space-saving summary (at
+most ``capacity`` monitored items; every estimate carries an error
+bound), and :class:`GossipFrequentItems` push-pull merges one sketch per
+node until the population agrees on the globally heaviest item.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError
+from repro.services.base import SamplingService, participant_list
+
+__all__ = ["FrequentItemsResult", "FrequentItemsSketch", "GossipFrequentItems"]
+
+
+class FrequentItemsSketch:
+    """A space-saving summary of an item stream.
+
+    Tracks at most ``capacity`` items; adding a new item beyond capacity
+    evicts the current minimum and inherits its count as the new item's
+    error bound.  Estimated counts over-approximate true counts by at
+    most the per-item ``error``; any item with true count above
+    ``N / capacity`` (N = stream length) is guaranteed monitored.
+    """
+
+    __slots__ = ("capacity", "_counts", "_errors")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"sketch capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._counts: Dict[str, int] = {}
+        self._errors: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def add(self, item: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``item``."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if item in self._counts:
+            self._counts[item] += count
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[item] = count
+            self._errors[item] = 0
+            return
+        # Space-saving eviction: replace the minimum (ties broken by the
+        # item key for determinism), inheriting its count as error.
+        victim = min(self._counts, key=lambda k: (self._counts[k], str(k)))
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = floor + count
+        self._errors[item] = floor
+
+    def extend(self, items: Iterable[str]) -> None:
+        """Record a whole stream."""
+        for item in items:
+            self.add(item)
+
+    def estimate(self, item: str) -> Tuple[int, int]:
+        """``(estimated_count, error_bound)`` for ``item`` (0, 0 if
+        unmonitored)."""
+        return self._counts.get(item, 0), self._errors.get(item, 0)
+
+    def top(self, m: int = 1) -> List[Tuple[str, int]]:
+        """The ``m`` heaviest monitored items as ``(item, estimate)``,
+        heaviest first; ties broken by item key for determinism."""
+        ranked = sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        return ranked[:m]
+
+    @classmethod
+    def merged(
+        cls, first: "FrequentItemsSketch", second: "FrequentItemsSketch"
+    ) -> "FrequentItemsSketch":
+        """The space-saving merge of two sketches (Cafaro et al.).
+
+        Counts (and error bounds) add item-wise; an item present in only
+        one sketch inherits the other's minimum count as extra error,
+        and the combined summary is cut back to the larger capacity.
+        """
+        capacity = max(first.capacity, second.capacity)
+        result = cls(capacity)
+
+        def floor(sketch: "FrequentItemsSketch") -> int:
+            if len(sketch._counts) < sketch.capacity:
+                return 0
+            return min(sketch._counts.values())
+
+        first_floor, second_floor = floor(first), floor(second)
+        combined: Dict[str, Tuple[int, int]] = {}
+        for item, count in first._counts.items():
+            error = first._errors[item]
+            if item in second._counts:
+                count += second._counts[item]
+                error += second._errors[item]
+            else:
+                count += second_floor
+                error += second_floor
+            combined[item] = (count, error)
+        for item, count in second._counts.items():
+            if item in first._counts:
+                continue
+            combined[item] = (
+                count + first_floor,
+                second._errors[item] + first_floor,
+            )
+        ranked = sorted(
+            combined.items(), key=lambda kv: (-kv[1][0], str(kv[0]))
+        )
+        for item, (count, error) in ranked[:capacity]:
+            result._counts[item] = count
+            result._errors[item] = error
+        return result
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequentItemsResult:
+    """Convergence accounting for one gossip-merge run."""
+
+    n_nodes: int
+    rounds: int
+    capacity: int
+    global_top: str
+    """The true heaviest item over the union of all streams."""
+    agreement: List[float]
+    """Fraction of nodes whose sketch ranks ``global_top`` first, after
+    each round (``agreement[0]`` = from local streams alone)."""
+    stale_samples: int
+
+    @property
+    def converged(self) -> bool:
+        """Whether every node agreed on the heaviest item at the end."""
+        return bool(self.agreement) and self.agreement[-1] == 1.0
+
+
+class GossipFrequentItems:
+    """Push-pull sketch merging over ``get_peer()`` draws.
+
+    Each participant summarizes its local stream into a
+    :class:`FrequentItemsSketch`; every round each node (in shuffled
+    order) draws a peer and both replace their sketches with the merge.
+    Stale draws are skipped and counted.
+
+    Parameters
+    ----------
+    services:
+        ``address -> sampling service`` mapping.
+    streams:
+        Local item stream per participant (missing participants start
+        with an empty sketch).
+    capacity:
+        Monitored items per sketch.
+    rounds:
+        Merge rounds to execute.
+    rng:
+        Shuffles the per-round node order; pass the engine's RNG for
+        byte-identical runs across ``cycle``/``fast``.
+    """
+
+    def __init__(
+        self,
+        services: Mapping[Address, SamplingService],
+        streams: Mapping[Address, Iterable[str]],
+        *,
+        capacity: int = 8,
+        rounds: int = 10,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not services:
+            raise ConfigurationError("sketch gossip needs >= 1 service")
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        self.services = dict(services)
+        self.capacity = capacity
+        self.rounds = rounds
+        self.rng = rng if rng is not None else random.Random(0)
+        self.sketches: Dict[Address, FrequentItemsSketch] = {}
+        totals: Dict[str, int] = {}
+        for address in self.services:
+            sketch = FrequentItemsSketch(capacity)
+            for item in streams.get(address, ()):
+                sketch.add(item)
+                totals[item] = totals.get(item, 0) + 1
+            self.sketches[address] = sketch
+        if not totals:
+            raise ConfigurationError("all streams are empty")
+        self.global_top = min(
+            totals, key=lambda item: (-totals[item], str(item))
+        )
+
+    def _agreement(self) -> float:
+        agreeing = sum(
+            1
+            for sketch in self.sketches.values()
+            if sketch.top(1) and sketch.top(1)[0][0] == self.global_top
+        )
+        return agreeing / len(self.sketches)
+
+    def run(self) -> FrequentItemsResult:
+        """Execute the merge rounds; return the agreement trajectory."""
+        addresses = participant_list(self.services)
+        agreement = [self._agreement()]
+        stale = 0
+        for _ in range(self.rounds):
+            order = list(addresses)
+            self.rng.shuffle(order)
+            for address in order:
+                peer = self.services[address].get_peer()
+                if peer is None:
+                    continue
+                if peer not in self.sketches:
+                    stale += 1
+                    continue
+                merged = FrequentItemsSketch.merged(
+                    self.sketches[address], self.sketches[peer]
+                )
+                self.sketches[address] = merged
+                self.sketches[peer] = merged
+            agreement.append(self._agreement())
+        return FrequentItemsResult(
+            n_nodes=len(addresses),
+            rounds=self.rounds,
+            capacity=self.capacity,
+            global_top=self.global_top,
+            agreement=agreement,
+            stale_samples=stale,
+        )

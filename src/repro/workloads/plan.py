@@ -219,6 +219,83 @@ def _measure_degrees(runtime: ScenarioRuntime, scale) -> Callable[[], Any]:
     return extract
 
 
+def _measure_broadcast_coverage(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    def extract() -> Dict[str, Any]:
+        from repro.services import AntiEntropyBroadcast, sampling_services
+
+        # Runs after run_to_end() and after the record's views_digest
+        # was computed, over the final overlay.  get_peer draws never
+        # mutate views, and the engine RNG is byte-identical across a
+        # family post-run, so the extracted series is too.
+        result = AntiEntropyBroadcast(
+            sampling_services(runtime.engine), fanout=2, mode="push"
+        ).run()
+        return {
+            "coverage": list(result.coverage),
+            "rounds": result.rounds,
+            "covered": result.covered,
+            "stale_samples": result.stale_samples,
+        }
+
+    return extract
+
+
+def _measure_aggregation_variance(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    def extract() -> Dict[str, Any]:
+        from repro.services import PushPullAveraging, sampling_services
+
+        result = PushPullAveraging(
+            sampling_services(runtime.engine),
+            rounds=15,
+            rng=runtime.engine.rng,
+        ).run()
+        return {
+            "variances": list(result.variances),
+            "reduction_factor": result.reduction_factor,
+            "stale_samples": result.stale_samples,
+        }
+
+    return extract
+
+
+def _measure_search_hit_rate(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    def extract() -> Dict[str, Any]:
+        from repro.services import (
+            RandomWalkSearch,
+            sampling_services,
+            scatter_key,
+        )
+
+        services = sampling_services(runtime.engine)
+        rng = runtime.engine.rng
+        # ~1% replication (at least one copy), TTL sized so an ideal
+        # uniform walk hits with high probability -- the gap to 100% is
+        # then the sampling quality the cell is measuring.
+        copies = max(1, len(services) // 100)
+        result = RandomWalkSearch(
+            services,
+            scatter_key(list(services), copies, rng),
+            ttl=min(256, 4 * max(1, len(services) // copies)),
+            rng=rng,
+        ).run(queries=min(64, len(services)))
+        return {
+            "hit_rate": result.hit_rate,
+            "mean_hops": result.mean_hops,
+            "queries": result.queries,
+            "holders": result.holders,
+            "ttl": result.ttl,
+            "stale_samples": result.stale_samples,
+        }
+
+    return extract
+
+
 MEASUREMENTS: Dict[str, Measurement] = {
     "metrics": Measurement(
         "clustering / average degree / path length per cycle (Figure 2/3)",
@@ -254,6 +331,22 @@ MEASUREMENTS: Dict[str, Measurement] = {
     "degrees": Measurement(
         "degree distribution summary of the final overlay (Figure 4)",
         _measure_degrees,
+    ),
+    "broadcast-coverage": Measurement(
+        "push rumor spreading over the final overlay: per-round informed "
+        "counts, rounds-to-coverage and stale-sample count "
+        "(repro.services.AntiEntropyBroadcast)",
+        _measure_broadcast_coverage,
+    ),
+    "aggregation-variance": Measurement(
+        "push-pull averaging over the final overlay: per-round variance "
+        "decay and stale-sample count (repro.services.PushPullAveraging)",
+        _measure_aggregation_variance,
+    ),
+    "search-hit-rate": Measurement(
+        "TTL random-walk lookups over the final overlay: hit rate, mean "
+        "hops and stale-sample count (repro.services.RandomWalkSearch)",
+        _measure_search_hit_rate,
     ),
 }
 """Measurements selectable by name in :class:`ExperimentPlan`."""

@@ -56,6 +56,32 @@ class TestInit:
         service.init(["a", "b", "c", "d"])
         assert len(service.node.view) == 2
 
+    def test_contacts_win_capacity_ties_over_gossiped_entries(self):
+        # Regression: a daemon's service is built on an empty view; the
+        # gossip loop fills the view before the caller's one explicit
+        # init(contacts) runs.  The old code kept the pre-existing
+        # entries first and silently dropped the contacts at capacity.
+        service = make_service(c=3)
+        service.node.view.replace(
+            [NodeDescriptor("g1", 4), NodeDescriptor("g2", 4),
+             NodeDescriptor("g3", 4)]
+        )
+        service.init(["contact"])
+        addresses = service.node.view.addresses()
+        assert "contact" in addresses
+        assert len(service.node.view) == 3
+        assert service.node.view.descriptor_for("contact").hop_count == 0
+
+    def test_preseeded_view_keeps_init_noop(self):
+        # A view seeded *before* the service existed counts as an
+        # applied init: a later init() must not reshuffle it (pinned so
+        # the contacts-win fix cannot regress CombinedSamplingService's
+        # per-engine init forwarding or engine.add_node).
+        service = make_service(entries=[("a", 1), ("b", 2)])
+        service.init(["c"])
+        assert "c" not in service.node.view
+        assert set(service.node.view.addresses()) == {"a", "b"}
+
 
 class TestGetPeer:
     def test_raises_before_init(self):
@@ -93,3 +119,51 @@ class TestGetPeers:
     def test_samples_are_view_members(self):
         service = make_service(entries=[("a", 1), ("b", 2)])
         assert set(service.get_peers(20)) <= {"a", "b"}
+
+    def test_transient_none_draw_is_retried_not_truncated(self):
+        # Regression: on a live daemon a racing merge could make one
+        # sample_peer call observe an empty view mid-batch; the old code
+        # broke out and silently returned a short batch.  A None draw
+        # with a non-empty view must be retried.
+        draws = iter([None, "a", None, "b", "a"])
+
+        class FlakyNode(GossipNode):
+            def sample_peer(self):
+                return next(draws)
+
+        node = FlakyNode("me", newscast(view_size=5), random.Random(0))
+        node.view.replace([NodeDescriptor("a", 1), NodeDescriptor("b", 2)])
+        assert PeerSamplingService(node).get_peers(3) == ["a", "b", "a"]
+
+    def test_batch_holds_the_lock_throughout(self):
+        # The batch must be atomic w.r.t. daemon merges: every draw
+        # happens while the service lock is held (a concurrent writer
+        # following the lock protocol would block for the whole batch).
+        import threading
+
+        blocked_draws = []
+
+        class ProbedNode(GossipNode):
+            def sample_peer(self):
+                # A second thread playing by the locking rules must NOT
+                # be able to take the lock mid-batch.
+                def try_lock():
+                    blocked_draws.append(
+                        not service.lock.acquire(blocking=False)
+                    )
+
+                prober = threading.Thread(target=try_lock)
+                prober.start()
+                prober.join()
+                return super().sample_peer()
+
+        node = ProbedNode("me", newscast(view_size=5), random.Random(0))
+        node.view.replace([NodeDescriptor("a", 1)])
+        service = PeerSamplingService(node)
+        assert len(service.get_peers(4)) == 4
+        assert blocked_draws == [True, True, True, True]
+
+    def test_nonpositive_count_returns_empty(self):
+        service = make_service(entries=[("a", 1)])
+        assert service.get_peers(0) == []
+        assert service.get_peers(-2) == []

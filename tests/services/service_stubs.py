@@ -1,0 +1,60 @@
+"""Shared stubs for the service-layer tests.
+
+The services consume nothing but ``get_peer()``, so most behavior is
+pinned against tiny scripted or uniform stub samplers -- no engine
+needed.  Engine- and cluster-backed substrates get their own test
+modules.
+"""
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class ScriptedService:
+    """Returns a fixed sequence of draws, then ``None`` forever."""
+
+    def __init__(self, draws: Iterable[Optional[object]]) -> None:
+        self._draws = iter(draws)
+
+    def get_peer(self):
+        return next(self._draws, None)
+
+
+class UniformStub:
+    """Uniform draws over a fixed peer list through a shared RNG."""
+
+    def __init__(self, peers: Sequence[object], rng: random.Random) -> None:
+        self._peers = list(peers)
+        self._rng = rng
+
+    def get_peer(self):
+        if not self._peers:
+            return None
+        return self._rng.choice(self._peers)
+
+
+def uniform_services(
+    addresses: Sequence[object], seed: int = 0
+) -> Dict[object, UniformStub]:
+    """Ideal-uniform sampler per address (excluding itself)."""
+    rng = random.Random(seed)
+    return {
+        address: UniformStub(
+            [peer for peer in addresses if peer != address], rng
+        )
+        for address in addresses
+    }
+
+
+def island_services(
+    islands: Sequence[Sequence[object]], seed: int = 0
+) -> Dict[object, UniformStub]:
+    """A partitioned population: draws never leave a node's island."""
+    rng = random.Random(seed)
+    services: Dict[object, UniformStub] = {}
+    for island in islands:
+        for address in island:
+            services[address] = UniformStub(
+                [peer for peer in island if peer != address], rng
+            )
+    return services

@@ -1,0 +1,97 @@
+"""PushPullAveraging: convergence, conservation, stale-sample regression."""
+
+import statistics
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.services import PushPullAveraging
+
+from service_stubs import ScriptedService, uniform_services
+
+
+class TestValidation:
+    def test_empty_services_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PushPullAveraging({})
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="rounds"):
+            PushPullAveraging(uniform_services(["a"]), rounds=-1)
+
+    def test_missing_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            PushPullAveraging(
+                uniform_services(["a", "b"]), values={"a": 1.0}
+            )
+
+
+class TestStaleSampleRegression:
+    def test_stale_peer_is_skipped_and_counted_not_keyerror(self):
+        # The examples/aggregation.py regression: a sampled address with
+        # no value entry (a departed node still referenced by a view)
+        # used to raise KeyError mid-round.  It must skip-and-count.
+        services = {
+            "a": ScriptedService(["ghost", "b"]),
+            "b": ScriptedService(["ghost", "a"]),
+        }
+        result = PushPullAveraging(
+            services, values={"a": 0.0, "b": 10.0}, rounds=2
+        ).run()
+        assert result.stale_samples == 2
+        assert result.variances[-1] == 0.0  # the live exchanges happened
+
+    def test_none_draws_are_not_stale(self):
+        services = {"a": ScriptedService([None, None])}
+        result = PushPullAveraging(
+            services, values={"a": 5.0}, rounds=2
+        ).run()
+        assert result.stale_samples == 0
+
+
+class TestConvergence:
+    def test_variance_decays_under_uniform_sampling(self):
+        addresses = list(range(50))
+        values = {a: float(a) for a in addresses}
+        result = PushPullAveraging(
+            uniform_services(addresses, seed=4), values=values, rounds=10
+        ).run()
+        assert result.variances[0] == statistics.pvariance(values.values())
+        assert result.variances[-1] < result.variances[0] / 100
+        factor = result.reduction_factor
+        assert factor is not None and factor < 0.7
+
+    def test_true_mean_is_the_initial_mean(self):
+        values = {"a": 1.0, "b": 3.0, "c": 8.0}
+        result = PushPullAveraging(
+            uniform_services(list(values), seed=0), values=values, rounds=5
+        ).run()
+        assert result.true_mean == pytest.approx(4.0)
+
+    def test_pairwise_averaging_conserves_the_mean(self):
+        addresses = list(range(20))
+        values = {a: float(a * a) for a in addresses}
+        averaging = PushPullAveraging(
+            uniform_services(addresses, seed=7), values=values, rounds=8
+        )
+        result = averaging.run()
+        assert statistics.fmean(averaging.values.values()) == pytest.approx(
+            result.true_mean
+        )
+
+
+class TestReductionFactor:
+    def test_zero_rounds_has_no_factor(self):
+        result = PushPullAveraging(
+            uniform_services(["a", "b"]), values={"a": 0.0, "b": 1.0},
+            rounds=0,
+        ).run()
+        assert result.variances == [0.25]
+        assert result.reduction_factor is None
+
+    def test_zero_variance_has_no_factor(self):
+        result = PushPullAveraging(
+            uniform_services(["a", "b"]), values={"a": 2.0, "b": 2.0},
+            rounds=3,
+        ).run()
+        assert result.reduction_factor is None

@@ -1,0 +1,150 @@
+"""AntiEntropyBroadcast: coverage honesty, modes, stale accounting."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.services import AntiEntropyBroadcast
+
+from service_stubs import ScriptedService, island_services, uniform_services
+
+
+class TestValidation:
+    def test_empty_services_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AntiEntropyBroadcast({})
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="mode"):
+            AntiEntropyBroadcast(uniform_services(["a", "b"]), mode="pull")
+
+    def test_nonpositive_fanout_rejected(self):
+        with pytest.raises(ConfigurationError, match="fanout"):
+            AntiEntropyBroadcast(uniform_services(["a", "b"]), fanout=0)
+
+    def test_nonpositive_max_rounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_rounds"):
+            AntiEntropyBroadcast(
+                uniform_services(["a", "b"]), max_rounds=0
+            )
+
+    def test_foreign_origin_rejected(self):
+        with pytest.raises(ConfigurationError, match="origin"):
+            AntiEntropyBroadcast(
+                uniform_services(["a", "b"]), origin="ghost"
+            )
+
+
+class TestPush:
+    def test_full_coverage_on_uniform_sampling(self):
+        services = uniform_services(list(range(40)), seed=1)
+        result = AntiEntropyBroadcast(services, fanout=2).run()
+        assert result.covered
+        assert result.informed == result.n_nodes == 40
+        assert result.coverage[0] == 1
+        assert result.coverage == sorted(result.coverage)
+        assert "full coverage" in result.summary()
+
+    def test_single_node_is_instant_coverage(self):
+        result = AntiEntropyBroadcast({"a": ScriptedService([])}).run()
+        assert result.covered
+        assert result.rounds == 0
+        assert result.coverage == [1]
+
+    def test_uninformed_nodes_do_not_push(self):
+        # Only the origin may draw in round 1: give everyone else a
+        # script that would instantly infect the whole population.
+        services = {
+            "a": ScriptedService(["b", "b"]),
+            "b": ScriptedService(["c", "c", "c", "c"]),
+            "c": ScriptedService([]),
+        }
+        result = AntiEntropyBroadcast(
+            services, fanout=2, origin="a", max_rounds=2
+        ).run()
+        # Round 1: a pushes to b.  Round 2: a re-pushes b, b pushes c.
+        assert result.coverage == [1, 2, 3]
+        assert result.covered
+
+
+class TestHonestCoverage:
+    def test_partition_reported_as_non_coverage(self):
+        # The dishonest-coverage regression: a partitioned population
+        # must yield covered=False and an informed count equal to the
+        # origin's island, never be rounded up to success.
+        islands = [list(range(10)), list(range(10, 25))]
+        services = island_services(islands, seed=3)
+        result = AntiEntropyBroadcast(
+            services, fanout=2, origin=0, max_rounds=30
+        ).run()
+        assert not result.covered
+        assert result.informed == 10
+        assert result.coverage_fraction == 10 / 25
+        assert "NO full coverage" in result.summary()
+        assert "10/25" in result.summary()
+
+    def test_round_cap_respected(self):
+        services = island_services([["a"], ["b"]], seed=0)
+        result = AntiEntropyBroadcast(
+            services, origin="a", max_rounds=5
+        ).run()
+        assert not result.covered
+        assert result.rounds == 5
+
+
+class TestStaleSamples:
+    def test_stale_draws_counted_and_do_not_spread(self):
+        services = {
+            "a": ScriptedService(["ghost", "b", "ghost", "ghost"]),
+            "b": ScriptedService([]),
+        }
+        result = AntiEntropyBroadcast(
+            services, fanout=2, origin="a", max_rounds=2
+        ).run()
+        assert result.covered
+        assert result.stale_samples >= 1
+        # "ghost" never became a participant.
+        assert result.n_nodes == 2
+
+
+class TestPushPull:
+    def test_rumor_travels_against_the_draw_direction(self):
+        # b draws the informed origin; push can never inform b (a's
+        # draws all miss), pushpull must.
+        def services():
+            return {
+                "a": ScriptedService([None] * 10),
+                "b": ScriptedService(["a"] * 10),
+            }
+
+        push = AntiEntropyBroadcast(
+            services(), fanout=1, mode="push", origin="a", max_rounds=3
+        ).run()
+        pushpull = AntiEntropyBroadcast(
+            services(), fanout=1, mode="pushpull", origin="a", max_rounds=3
+        ).run()
+        assert not push.covered
+        assert pushpull.covered
+        assert pushpull.rounds == 1
+
+    def test_faster_than_push_on_uniform_sampling(self):
+        push = AntiEntropyBroadcast(
+            uniform_services(list(range(60)), seed=2), fanout=1, mode="push"
+        ).run()
+        pushpull = AntiEntropyBroadcast(
+            uniform_services(list(range(60)), seed=2),
+            fanout=1,
+            mode="pushpull",
+        ).run()
+        assert pushpull.covered
+        assert pushpull.rounds <= push.rounds
+
+
+class TestDeterminism:
+    def test_identical_stub_seed_means_identical_result(self):
+        first = AntiEntropyBroadcast(
+            uniform_services(list(range(30)), seed=9), fanout=2
+        ).run()
+        second = AntiEntropyBroadcast(
+            uniform_services(list(range(30)), seed=9), fanout=2
+        ).run()
+        assert first == second

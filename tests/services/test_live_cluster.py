@@ -1,0 +1,85 @@
+"""The same services over live daemons: the middleware claim, end to end.
+
+A :class:`LocalCluster` of real ``GossipDaemon`` instances (deterministic
+loopback transport) is just another substrate for
+:func:`repro.services.sampling_services` -- the exact service classes the
+simulation tests run must work over the daemons' thread-safe services.
+Timeout discipline follows ``tests/net``: a hard ``timeout`` marker plus
+an in-test ``wait_for`` deadline.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.config import NetworkConfig, newscast
+from repro.net.cluster import LocalCluster
+from repro.services import (
+    AntiEntropyBroadcast,
+    PushPullAveraging,
+    RandomWalkSearch,
+    sampling_services,
+    scatter_key,
+)
+
+SESSION_DEADLINE = 60.0
+LOCKSTEP = NetworkConfig(cycle_seconds=0.01, jitter=0.0, request_timeout=2.0)
+N_DAEMONS = 12
+
+
+def run_session(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, SESSION_DEADLINE))
+
+
+def cluster_service_results():
+    async def session():
+        cluster = LocalCluster(
+            newscast(8),
+            N_DAEMONS,
+            network=LOCKSTEP,
+            transport="loopback",
+            seed=11,
+        )
+        await cluster.start(free_running=False)
+        try:
+            await cluster.run_cycles(10)
+            services = sampling_services(cluster)
+            addresses = sorted(services)
+            broadcast = AntiEntropyBroadcast(
+                services, fanout=2, mode="pushpull"
+            ).run()
+            averaging = PushPullAveraging(
+                services, rounds=10, rng=random.Random(1)
+            ).run()
+            search = RandomWalkSearch(
+                services,
+                scatter_key(addresses, 2, random.Random(2)),
+                ttl=32,
+                rng=random.Random(3),
+            ).run(queries=12)
+            return services, broadcast, averaging, search
+        finally:
+            await cluster.stop()
+
+    return run_session(session())
+
+
+@pytest.mark.timeout(90)
+class TestLiveClusterServices:
+    def test_all_services_run_over_live_daemons(self):
+        services, broadcast, averaging, search = cluster_service_results()
+        assert len(services) == N_DAEMONS
+
+        assert broadcast.n_nodes == N_DAEMONS
+        assert broadcast.covered
+        assert broadcast.coverage[0] == 1
+
+        assert averaging.n_nodes == N_DAEMONS
+        assert averaging.variances[-1] < averaging.variances[0]
+
+        assert search.queries == 12
+        # 2/12 replication with ttl 32: a full-miss batch would mean the
+        # daemons' services are not actually sampling their live views.
+        assert search.hit_rate > 0.5
+        assert search.stale_samples == 0  # no churn ran

@@ -1,0 +1,95 @@
+"""The service measurements through ``run_plan``: round-trip + identity.
+
+``broadcast-coverage``, ``aggregation-variance`` and ``search-hit-rate``
+attach to any plan cell like the built-in measurements: they must be
+registered, survive the record round-trip, stay byte-identical between
+serial and parallel execution, and agree across the cycle/fast pair.
+"""
+
+from repro.workloads import (
+    ContinuousChurn,
+    ExperimentPlan,
+    ScenarioSpec,
+    run_plan,
+)
+from repro.workloads.plan import MEASUREMENTS
+
+SERVICE_MEASUREMENTS = (
+    "broadcast-coverage",
+    "aggregation-variance",
+    "search-hit-rate",
+)
+
+
+def services_plan(**overrides) -> ExperimentPlan:
+    defaults = dict(
+        name="services-measurements",
+        scenario=ScenarioSpec(
+            name="churny",
+            bootstrap="random",
+            cycles=6,
+            events=(
+                ContinuousChurn(joins_per_cycle=1, leaves_per_cycle=1),
+            ),
+        ),
+        protocols=("(rand,head,pushpull)",),
+        scales=("quick",),
+        engines=("cycle", "fast"),
+        seeds=(0, 1),
+        n_nodes=36,
+        measurements=SERVICE_MEASUREMENTS,
+    )
+    defaults.update(overrides)
+    return ExperimentPlan(**defaults)
+
+
+class TestRegistry:
+    def test_all_three_measurements_registered(self):
+        for name in SERVICE_MEASUREMENTS:
+            assert name in MEASUREMENTS
+            assert MEASUREMENTS[name].description
+
+    def test_unknown_measurement_still_rejected_eagerly(self):
+        import pytest
+
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            services_plan(measurements=("broadcast-coverage", "nope"))
+
+
+class TestRoundTrip:
+    def test_records_carry_the_service_numbers(self):
+        result = run_plan(services_plan(), workers=1)
+        assert len(result.records) == 4
+        for record in result.records:
+            broadcast = record.measurements["broadcast-coverage"]
+            assert broadcast["coverage"][0] == 1
+            assert isinstance(broadcast["covered"], bool)
+            assert broadcast["stale_samples"] >= 0
+            aggregation = record.measurements["aggregation-variance"]
+            assert len(aggregation["variances"]) == 16
+            assert aggregation["variances"][-1] < aggregation["variances"][0]
+            search = record.measurements["search-hit-rate"]
+            assert 0.0 <= search["hit_rate"] <= 1.0
+            assert search["queries"] >= 1
+
+    def test_serial_and_parallel_are_byte_identical(self):
+        plan = services_plan()
+        serial = run_plan(plan, workers=1)
+        parallel = run_plan(plan, workers=3)
+        assert serial.records_digest() == parallel.records_digest()
+        assert [r.canonical_dict() for r in serial.records] == [
+            r.canonical_dict() for r in parallel.records
+        ]
+
+    def test_cycle_and_fast_records_agree(self):
+        result = run_plan(services_plan(), workers=1)
+        by_engine = {}
+        for record in result.records:
+            key = (record.protocol, record.seed)
+            by_engine.setdefault(key, {})[record.engine] = record
+        for key, pair in by_engine.items():
+            cycle, fast = pair["cycle"], pair["fast"]
+            assert cycle.views_digest == fast.views_digest, key
+            assert cycle.measurements == fast.measurements, key

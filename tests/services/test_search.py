@@ -1,0 +1,137 @@
+"""RandomWalkSearch and scatter_key: walks, TTL, stale-step accounting."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.services import RandomWalkSearch, scatter_key
+
+from service_stubs import ScriptedService, uniform_services
+
+
+class TestScatterKey:
+    def test_places_distinct_copies(self):
+        holders = scatter_key(list(range(30)), 5, random.Random(1))
+        assert len(holders) == 5
+        assert holders <= set(range(30))
+
+    def test_deterministic_for_a_seed(self):
+        first = scatter_key(list(range(30)), 5, random.Random(2))
+        second = scatter_key(list(range(30)), 5, random.Random(2))
+        assert first == second
+
+    def test_copies_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match="copies"):
+            scatter_key(["a", "b"], 3, random.Random(0))
+        with pytest.raises(ConfigurationError, match="copies"):
+            scatter_key(["a", "b"], 0, random.Random(0))
+
+
+class TestValidation:
+    def test_empty_services_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkSearch({}, ["a"])
+
+    def test_no_participant_holder_rejected(self):
+        with pytest.raises(ConfigurationError, match="holder"):
+            RandomWalkSearch(uniform_services(["a", "b"]), ["ghost"])
+
+    def test_nonpositive_ttl_rejected(self):
+        with pytest.raises(ConfigurationError, match="ttl"):
+            RandomWalkSearch(uniform_services(["a", "b"]), ["a"], ttl=0)
+
+    def test_foreign_origin_rejected(self):
+        search = RandomWalkSearch(uniform_services(["a", "b"]), ["a"])
+        with pytest.raises(ConfigurationError, match="origin"):
+            search.search("ghost")
+
+    def test_nonpositive_queries_rejected(self):
+        search = RandomWalkSearch(uniform_services(["a", "b"]), ["a"])
+        with pytest.raises(ConfigurationError, match="queries"):
+            search.run(queries=0)
+
+
+class TestWalks:
+    def test_origin_holding_the_key_is_zero_hops(self):
+        search = RandomWalkSearch(uniform_services(["a", "b"]), ["a"])
+        assert search.search("a") == 0
+
+    def test_walk_follows_the_draws(self):
+        services = {
+            "a": ScriptedService(["b"]),
+            "b": ScriptedService(["c"]),
+            "c": ScriptedService([]),
+        }
+        search = RandomWalkSearch(services, ["c"], ttl=8)
+        assert search.search("a") == 2
+
+    def test_ttl_expiry_is_a_miss(self):
+        # a and b bounce the walk between each other; c is unreachable.
+        services = {
+            "a": ScriptedService(["b"] * 10),
+            "b": ScriptedService(["a"] * 10),
+            "c": ScriptedService([]),
+        }
+        search = RandomWalkSearch(services, ["c"], ttl=4)
+        assert search.search("a") is None
+
+    def test_stale_draws_consume_ttl_without_moving(self):
+        # Two stale draws burn the budget: the holder is one live hop
+        # away but the walk only has ttl=2.
+        services = {
+            "a": ScriptedService(["ghost", "ghost", "b"]),
+            "b": ScriptedService([]),
+        }
+        assert RandomWalkSearch(services, ["b"], ttl=2).search("a") is None
+        services = {
+            "a": ScriptedService(["ghost", "ghost", "b"]),
+            "b": ScriptedService([]),
+        }
+        assert RandomWalkSearch(services, ["b"], ttl=3).search("a") == 3
+
+
+class TestRun:
+    def test_hit_rate_accounting_under_uniform_sampling(self):
+        addresses = list(range(40))
+        holders = scatter_key(addresses, 8, random.Random(3))
+        result = RandomWalkSearch(
+            uniform_services(addresses, seed=5),
+            holders,
+            ttl=32,
+            rng=random.Random(6),
+        ).run(queries=25)
+        assert result.queries == 25
+        assert len(result.hops) == 25
+        assert result.hits == sum(1 for h in result.hops if h is not None)
+        assert result.hit_rate == result.hits / 25
+        # 8/40 replication and ttl 32 make a miss astronomically rare.
+        assert result.hit_rate > 0.9
+        assert result.mean_hops is not None and result.mean_hops >= 0
+
+    def test_stale_draws_surface_in_the_result(self):
+        services = {
+            "a": ScriptedService(["ghost", "b"] * 10),
+            "b": ScriptedService([]),
+        }
+        # Random(1)'s first choice over ["a", "b"] is "a", so the walk
+        # really starts at the non-holder and burns a stale draw.
+        result = RandomWalkSearch(
+            services, ["b"], ttl=4, rng=random.Random(1)
+        ).run(queries=1)
+        assert result.stale_samples >= 1
+
+    def test_all_misses_has_no_mean_hops(self):
+        from repro.services import SearchResult
+
+        result = SearchResult(
+            n_nodes=3,
+            holders=1,
+            ttl=2,
+            queries=2,
+            hops=[None, None],
+            stale_samples=0,
+        )
+        assert result.hits == 0
+        assert result.hit_rate == 0.0
+        assert result.mean_hops is None

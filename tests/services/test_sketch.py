@@ -1,0 +1,146 @@
+"""FrequentItemsSketch / GossipFrequentItems: space-saving guarantees."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.services import FrequentItemsSketch, GossipFrequentItems
+
+from service_stubs import ScriptedService, uniform_services
+
+
+def exact_counts(stream):
+    counts = {}
+    for item in stream:
+        counts[item] = counts.get(item, 0) + 1
+    return counts
+
+
+class TestSketch:
+    def test_exact_below_capacity(self):
+        sketch = FrequentItemsSketch(8)
+        sketch.extend(["a", "b", "a", "c", "a", "b"])
+        assert sketch.estimate("a") == (3, 0)
+        assert sketch.estimate("b") == (2, 0)
+        assert sketch.estimate("unseen") == (0, 0)
+        assert sketch.top(2) == [("a", 3), ("b", 2)]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            FrequentItemsSketch(0)
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            FrequentItemsSketch(2).add("a", 0)
+
+    def test_eviction_inherits_the_minimum_as_error(self):
+        sketch = FrequentItemsSketch(2)
+        sketch.extend(["a", "a", "b"])
+        sketch.add("c")  # evicts b (count 1); c = 1 + 1 with error 1
+        assert len(sketch) == 2
+        assert sketch.estimate("c") == (2, 1)
+        assert sketch.estimate("b") == (0, 0)
+
+    def test_space_saving_overestimates_within_error(self):
+        # The classic guarantee: estimate >= true >= estimate - error,
+        # for every monitored item, on an adversarial-ish stream.
+        rng = random.Random(13)
+        stream = [f"i{rng.randrange(40)}" for _ in range(600)]
+        truth = exact_counts(stream)
+        sketch = FrequentItemsSketch(10)
+        sketch.extend(stream)
+        for item, estimate in sketch.top(10):
+            _, error = sketch.estimate(item)
+            assert estimate >= truth.get(item, 0) >= estimate - error
+
+    def test_heavy_hitter_guaranteed_monitored(self):
+        # Any item with true frequency above N / capacity must survive.
+        stream = ["hot"] * 120 + [f"n{i}" for i in range(200)]
+        random.Random(17).shuffle(stream)
+        sketch = FrequentItemsSketch(8)
+        sketch.extend(stream)
+        assert sketch.top(1)[0][0] == "hot"
+
+    def test_deterministic_tie_breaking(self):
+        sketch = FrequentItemsSketch(4)
+        sketch.extend(["b", "a", "d", "c"])
+        assert sketch.top(4) == [("a", 1), ("b", 1), ("c", 1), ("d", 1)]
+
+
+class TestMerge:
+    def test_merge_is_exact_below_capacity(self):
+        left, right = FrequentItemsSketch(8), FrequentItemsSketch(8)
+        left.extend(["a", "a", "b"])
+        right.extend(["b", "c"])
+        merged = FrequentItemsSketch.merged(left, right)
+        assert merged.estimate("a") == (2, 0)
+        assert merged.estimate("b") == (2, 0)
+        assert merged.estimate("c") == (1, 0)
+
+    def test_merge_keeps_the_larger_capacity(self):
+        left, right = FrequentItemsSketch(3), FrequentItemsSketch(5)
+        left.add("a")
+        right.add("b")
+        assert FrequentItemsSketch.merged(left, right).capacity == 5
+
+    def test_merged_estimates_dominate_true_counts(self):
+        rng = random.Random(23)
+        first = [f"i{rng.randrange(30)}" for _ in range(300)]
+        second = [f"i{rng.randrange(30)}" for _ in range(300)]
+        truth = exact_counts(first + second)
+        left, right = FrequentItemsSketch(8), FrequentItemsSketch(8)
+        left.extend(first)
+        right.extend(second)
+        merged = FrequentItemsSketch.merged(left, right)
+        for item, estimate in merged.top(8):
+            _, error = merged.estimate(item)
+            assert estimate >= truth.get(item, 0) >= estimate - error
+
+    def test_merge_finds_the_global_heavy_hitter(self):
+        # "hot" is never the local top anywhere, but dominates globally.
+        left, right = FrequentItemsSketch(4), FrequentItemsSketch(4)
+        left.extend(["hot"] * 3 + ["l"] * 5)
+        right.extend(["hot"] * 3 + ["r"] * 5)
+        assert FrequentItemsSketch.merged(left, right).top(1)[0][0] == "hot"
+
+
+class TestGossipFrequentItems:
+    def make_streams(self, addresses, seed=0):
+        # Skewed streams: each node mostly sees its own item plus a few
+        # globally hot draws, so local tops disagree before gossip.
+        rng = random.Random(seed)
+        return {
+            a: ["hot"] * rng.randint(1, 3) + [f"local-{a}"] * 4
+            for a in addresses
+        }
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            GossipFrequentItems(uniform_services(["a", "b"]), {})
+
+    def test_agreement_converges_on_uniform_sampling(self):
+        addresses = list(range(30))
+        result = GossipFrequentItems(
+            uniform_services(addresses, seed=1),
+            self.make_streams(addresses, seed=2),
+            capacity=4,
+            rounds=8,
+            rng=random.Random(3),
+        ).run()
+        assert result.global_top == "hot"
+        assert result.agreement[0] < 1.0
+        assert result.converged
+        assert result.agreement[-1] == 1.0
+
+    def test_stale_draws_counted(self):
+        services = {
+            "a": ScriptedService(["ghost"] * 4),
+            "b": ScriptedService(["ghost"] * 4),
+        }
+        result = GossipFrequentItems(
+            services,
+            {"a": ["x"], "b": ["x"]},
+            rounds=2,
+        ).run()
+        assert result.stale_samples == 4
