@@ -4,6 +4,7 @@ Installs the ``repro`` package from ``src/`` plus two console entry
 points:
 
 - ``repro-node`` -- run one networked peer sampling daemon (UDP);
+- ``repro-seed`` -- run the cluster's introduction/liveness seed node;
 - ``repro-experiments`` -- regenerate the paper's tables and figures.
 """
 
@@ -20,7 +21,7 @@ else:
 
 setup(
     name="repro-peer-sampling",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Reproduction of 'The Peer Sampling Service' (Jelasity et al., "
         "Middleware 2004): gossip protocol library, simulation engines, "
@@ -39,6 +40,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-node=repro.net.cli:main",
+            "repro-seed=repro.control.cli:main",
             "repro-experiments=repro.experiments.runner:main",
         ],
     },

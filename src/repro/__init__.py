@@ -80,7 +80,7 @@ from repro.workloads import (
     run_plans,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "ALL_PROTOCOLS",

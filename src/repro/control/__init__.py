@@ -1,0 +1,70 @@
+"""Control plane: seed-node bootstrap, liveness and metrics for live clusters.
+
+:mod:`repro.net` is the *data plane* -- daemons gossiping views over
+datagrams.  This package is the control plane that turns those daemons
+into an operable cluster:
+
+- :mod:`repro.control.messages` -- the control-plane message vocabulary
+  (join / sample / heartbeat / leave / status), framed by the versioned
+  control codec in :mod:`repro.core.codec`;
+- :mod:`repro.control.registry` -- :class:`SeedRegistry`, the TTL-based
+  liveness table behind the seed node (injectable clock, deterministic
+  in tests);
+- :mod:`repro.control.seed` -- :class:`SeedService`, the introduction
+  endpoint: joining daemons register and receive a bootstrap sample of
+  live peers; heartbeats keep entries alive; gossiped stats aggregate
+  cluster-wide;
+- :mod:`repro.control.client` -- :class:`IntroducerClient`, the daemon
+  side: join with capped exponential backoff + jitter, periodic
+  heartbeats carrying counters, graceful deregistration;
+- :mod:`repro.control.metrics` -- the observability plane: a counters
+  registry per daemon (and per seed) served over a plaintext HTTP
+  endpoint in Prometheus text format (plus JSON);
+- :mod:`repro.control.supervisor` -- :class:`ClusterSupervisor`, booting
+  N ``repro-node`` subprocesses against a ``repro-seed`` process,
+  monitoring liveness through the seed and restarting crashed daemons;
+- :mod:`repro.control.cli` -- the ``repro-seed`` console entry point.
+
+The division of labor follows the classic control-plane/data-plane
+split: gossip exchanges never traverse the seed (it hands out
+*introductions*, not routes), so the seed is not a bandwidth bottleneck
+and an overlay that has bootstrapped survives the seed's death.
+"""
+
+from repro.control.client import IntroducerClient
+from repro.control.messages import (
+    KIND_HEARTBEAT,
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_SAMPLE,
+    KIND_STATUS,
+    KIND_STATUS_REPLY,
+    query_status,
+)
+from repro.control.metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    daemon_metrics,
+    seed_metrics,
+)
+from repro.control.registry import SeedRegistry
+from repro.control.seed import SeedService
+from repro.control.supervisor import ClusterSupervisor
+
+__all__ = [
+    "ClusterSupervisor",
+    "IntroducerClient",
+    "KIND_HEARTBEAT",
+    "KIND_JOIN",
+    "KIND_LEAVE",
+    "KIND_SAMPLE",
+    "KIND_STATUS",
+    "KIND_STATUS_REPLY",
+    "MetricsRegistry",
+    "MetricsServer",
+    "SeedRegistry",
+    "SeedService",
+    "daemon_metrics",
+    "query_status",
+    "seed_metrics",
+]

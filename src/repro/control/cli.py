@@ -1,0 +1,125 @@
+"""``repro-seed``: run the cluster's introduction endpoint.
+
+Boot the seed first, then point every ``repro-node`` at it::
+
+    repro-seed --bind 127.0.0.1:9900 --ttl 10
+    repro-node --bind 127.0.0.1:0 --introducer 127.0.0.1:9900
+
+The seed hands joining daemons a bootstrap sample of live peers and
+tracks liveness through TTL leases renewed by heartbeats.  It carries
+control traffic only -- gossip never traverses it, so the overlay keeps
+running if the seed dies (restart it and the survivors' next heartbeats
+repopulate the registry).
+
+``--metrics-port`` additionally serves the seed's counters -- including
+the cluster-wide aggregation of the stats daemons gossip in their
+heartbeats -- in Prometheus text format on ``/metrics`` (and as JSON on
+``/metrics.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from repro.core.errors import ReproError
+from repro.control.metrics import MetricsServer, seed_metrics
+from repro.control.seed import SeedService
+from repro.net.cli import _parse_bind
+from repro.net.transport import UdpTransport
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-seed",
+        description="Run the introduction/liveness seed for a live "
+        "peer-sampling cluster (control plane only; gossip never "
+        "traverses the seed).",
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="host:port to bind (port 0 = ephemeral; default %(default)s)",
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=10.0, metavar="SECONDS",
+        help="liveness lease length; daemons heartbeat at ttl/3 "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics over HTTP on this port "
+        "(0 = ephemeral; default: no metrics endpoint)",
+    )
+    parser.add_argument(
+        "--report-every", type=float, default=10.0, metavar="SECONDS",
+        help="status line interval (default %(default)s; 0 disables)",
+    )
+    parser.add_argument(
+        "--advertise", default=None, metavar="HOST",
+        help="host to advertise (required when binding 0.0.0.0)",
+    )
+    return parser
+
+
+def _status_line(seed: SeedService) -> str:
+    stats = seed.stats
+    return (
+        f"[{seed.address}] live={len(seed.registry)} "
+        f"joins={stats.joins} heartbeats={stats.heartbeats} "
+        f"leaves={stats.leaves} expired={seed.registry.expirations} "
+        f"bad={stats.invalid_messages}"
+    )
+
+
+async def _run_seed(args: argparse.Namespace) -> int:
+    host, port = _parse_bind(args.bind)
+    transport = UdpTransport(host, port, advertise_host=args.advertise)
+    seed = SeedService(transport, ttl=args.ttl)
+    await seed.start()
+    print(f"repro-seed listening on {seed.address} (ttl={args.ttl}s)")
+    metrics_server: Optional[MetricsServer] = None
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            seed_metrics(seed), host=host, port=args.metrics_port
+        )
+        metrics_server.start()
+        print(f"metrics on {metrics_server.url}")
+    loop = asyncio.get_running_loop()
+    next_report = loop.time() + args.report_every
+    try:
+        while True:
+            await asyncio.sleep(0.25)
+            if args.report_every > 0 and loop.time() >= next_report:
+                print(_status_line(seed))
+                next_report += args.report_every
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
+        await seed.stop()
+        print(_status_line(seed))
+        print("seed stopped (a bootstrapped overlay keeps gossiping)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_run_seed(args))
+    except KeyboardInterrupt:
+        return 0
+    except BrokenPipeError:
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""The daemon side of the control plane: join, heartbeat, leave.
+
+:class:`IntroducerClient` attaches to one
+:class:`~repro.net.daemon.GossipDaemon` and talks to one or more seed
+endpoints over its *own* datagram socket -- control traffic never mixes
+with gossip frames, so the data-plane receive path stays untouched.
+
+Joining is where deployments actually fail, so it is the hardened path:
+the client cycles through every configured introducer, retries
+unreachable ones with **capped exponential backoff plus jitter** (an
+introducer that is down at daemon boot and comes up minutes later is
+still joined -- no "contact the server once, then give up"), and adopts
+the returned bootstrap sample into the daemon's view under the service
+lock.  After the first successful join a background task heartbeats
+every ``ttl / 3`` (carrying the daemon's counters snapshot for
+cluster-wide aggregation) and :meth:`stop` deregisters gracefully.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.codec import CodecError, decode_control, encode_control
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError, ReproError
+from repro.control.messages import (
+    KIND_HEARTBEAT,
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_SAMPLE,
+    heartbeat_body,
+    join_body,
+    leave_body,
+    parse_sample,
+)
+from repro.net.daemon import GossipDaemon
+from repro.net.transport import DatagramTransport, UdpTransport
+
+__all__ = ["IntroducerClient", "JoinError", "daemon_stats_snapshot"]
+
+_ID_SPACE = 1 << 32
+
+
+class JoinError(ReproError):
+    """The client exhausted its join attempts without a SAMPLE reply."""
+
+
+def daemon_stats_snapshot(daemon: GossipDaemon) -> Dict[str, int]:
+    """The counters a daemon gossips to the seed in heartbeats.
+
+    Plain ints only (the body is JSON): every
+    :class:`~repro.net.daemon.DaemonStats` field plus the service's
+    ``getPeer()`` serve counter and the current view fill.
+    """
+    snapshot = dict(vars(daemon.stats))
+    snapshot["peers_served"] = daemon.service.samples_served
+    with daemon.service.lock:
+        snapshot["view_fill"] = len(daemon.node.view)
+    return snapshot
+
+
+class IntroducerClient:
+    """Registers one daemon with the seed(s) and keeps its lease alive.
+
+    Parameters
+    ----------
+    daemon:
+        The gossip daemon to bootstrap and report for.
+    introducers:
+        One or more seed addresses, tried in rotation.
+    transport:
+        Control-plane endpoint; defaults to a fresh ephemeral
+        :class:`~repro.net.transport.UdpTransport` on the daemon's bind
+        host (tests pass a loopback transport instead).
+    sample_size:
+        Peers requested at join; defaults to the daemon's view capacity.
+    heartbeat_interval:
+        Seconds between heartbeats; default ``None`` derives ``ttl / 3``
+        from the SAMPLE reply -- three missed heartbeats kill the lease.
+    retry_base / retry_cap:
+        First retry delay and its exponential cap, in seconds.  Each
+        failed round over all introducers doubles the delay (up to the
+        cap) and adds up to 50% uniform jitter so a rebooting cluster
+        does not stampede the seed in lockstep.
+    attempt_timeout:
+        Seconds one JOIN waits for its SAMPLE before the next attempt.
+    """
+
+    def __init__(
+        self,
+        daemon: GossipDaemon,
+        introducers: Sequence[Address],
+        transport: Optional[DatagramTransport] = None,
+        sample_size: Optional[int] = None,
+        heartbeat_interval: Optional[float] = None,
+        retry_base: float = 0.2,
+        retry_cap: float = 5.0,
+        attempt_timeout: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        introducers = list(introducers)
+        if not introducers:
+            raise ConfigurationError("need at least one introducer address")
+        if retry_base <= 0 or retry_cap < retry_base:
+            raise ConfigurationError(
+                f"need 0 < retry_base <= retry_cap, got "
+                f"{retry_base} / {retry_cap}"
+            )
+        if attempt_timeout <= 0:
+            raise ConfigurationError(
+                f"attempt_timeout must be > 0, got {attempt_timeout}"
+            )
+        self.daemon = daemon
+        self.introducers = introducers
+        if transport is None:
+            # Own socket: control replies must not hit the gossip codec.
+            transport = UdpTransport(daemon.network.bind_host, 0)
+        self.transport = transport
+        self.sample_size = (
+            sample_size
+            if sample_size is not None
+            else daemon.node.view.capacity
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.attempt_timeout = attempt_timeout
+        self._rng = rng if rng is not None else random.Random()
+        self._next_id = self._rng.randrange(_ID_SPACE)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self.joined = False
+        self.join_attempts = 0
+        self.heartbeats_sent = 0
+        self.ttl: Optional[float] = None
+        """The seed's lease TTL, learned from the SAMPLE reply."""
+        transport.receiver = self._on_datagram
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the control endpoint (idempotent)."""
+        await self.transport.start()
+
+    async def stop(self) -> None:
+        """Deregister (best effort) and release the control endpoint."""
+        task, self._heartbeat_task = self._heartbeat_task, None
+        try:
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        finally:
+            if self.joined:
+                # Fire and forget: a lost LEAVE just means TTL expiry.
+                leave = encode_control(
+                    KIND_LEAVE, leave_body(self.daemon.address)
+                )
+                for introducer in self.introducers:
+                    self.transport.send(introducer, leave)
+            for future in self._pending.values():
+                if not future.done():
+                    future.cancel()
+            self._pending.clear()
+            await self.transport.close()
+
+    # -- joining ---------------------------------------------------------------
+
+    async def join(
+        self, max_attempts: Optional[int] = None
+    ) -> List[Address]:
+        """Register with an introducer and adopt its bootstrap sample.
+
+        Cycles through the configured introducers until one answers,
+        sleeping between full rounds with capped exponential backoff +
+        jitter.  ``max_attempts`` bounds the total JOIN datagrams sent
+        (``None`` retries forever -- the daemon keeps answering gossip
+        meanwhile, so waiting is free); exhausting it raises
+        :class:`JoinError`.
+
+        On success the sample is merged into the daemon's view (under
+        the service lock, hop count 0, existing entries kept up to
+        capacity), heartbeats start, and the peer list is returned --
+        possibly empty when this node is the first to register, which
+        is not a failure: the *next* joiner will be pointed here.
+        """
+        delay = self.retry_base
+        attempts = 0
+        while True:
+            for introducer in self.introducers:
+                attempts += 1
+                self.join_attempts += 1
+                try:
+                    peers, ttl = await self._join_once(introducer)
+                except asyncio.TimeoutError:
+                    peers = None
+                    ttl = None
+                if peers is not None:
+                    self.ttl = ttl
+                    self._adopt(peers)
+                    self.joined = True
+                    self._start_heartbeats()
+                    return peers
+                if max_attempts is not None and attempts >= max_attempts:
+                    raise JoinError(
+                        f"no introducer of {self.introducers} answered "
+                        f"within {attempts} attempt(s)"
+                    )
+            # Full round failed: back off (capped, jittered), try again.
+            await asyncio.sleep(delay * (1.0 + 0.5 * self._rng.random()))
+            delay = min(delay * 2.0, self.retry_cap)
+
+    async def _join_once(self, introducer: Address):
+        request_id = self._allocate_id()
+        request = encode_control(
+            KIND_JOIN,
+            join_body(self.daemon.address, self.sample_size),
+            request_id,
+        )
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self.transport.send(introducer, request)
+        try:
+            return await asyncio.wait_for(future, self.attempt_timeout)
+        finally:
+            self._pending.pop(request_id, None)
+
+    def _adopt(self, peers: List[Address]) -> None:
+        """Merge the bootstrap sample into the daemon's view (front-loaded,
+        hop count 0 -- the same contract as ``PeerSamplingService.init``,
+        but unconditional so re-joins refresh an already-seeded view)."""
+        own = self.daemon.address
+        entries = [NodeDescriptor(peer, 0) for peer in peers if peer != own]
+        if not entries:
+            return
+        service = self.daemon.service
+        with service.lock:
+            view = self.daemon.node.view
+            held = {entry.address for entry in entries}
+            entries.extend(
+                d for d in view if d.address not in held and d.address != own
+            )
+            view.replace(entries[: view.capacity])
+
+    # -- heartbeats --------------------------------------------------------------
+
+    def _start_heartbeats(self) -> None:
+        if self._heartbeat_task is not None and not self._heartbeat_task.done():
+            return
+        interval = self.heartbeat_interval
+        if interval is None:
+            interval = (self.ttl or 10.0) / 3.0
+        self._heartbeat_task = asyncio.get_running_loop().create_task(
+            self._heartbeat_loop(interval)
+        )
+
+    async def _heartbeat_loop(self, interval: float) -> None:
+        while True:
+            # Jitter desynchronizes a cluster started in lockstep.
+            await asyncio.sleep(interval * (0.9 + 0.2 * self._rng.random()))
+            self.send_heartbeat()
+
+    def send_heartbeat(self) -> None:
+        """Send one heartbeat (with the counters snapshot) to every
+        introducer.  Fire and forget -- a lost heartbeat is absorbed by
+        the TTL slack; exposed so lockstep tests can pump liveness
+        without wall-clock sleeps."""
+        body = heartbeat_body(
+            self.daemon.address, daemon_stats_snapshot(self.daemon)
+        )
+        frame = encode_control(KIND_HEARTBEAT, body)
+        for introducer in self.introducers:
+            self.transport.send(introducer, frame)
+        self.heartbeats_sent += 1
+
+    # -- receive path --------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        allocated = self._next_id
+        self._next_id = (self._next_id + 1) % _ID_SPACE
+        return allocated
+
+    def _on_datagram(self, data: bytes, sender: Address) -> None:
+        try:
+            frame = decode_control(data)
+        except CodecError:
+            return
+        if frame.kind != KIND_SAMPLE:
+            return
+        future = self._pending.get(frame.request_id)
+        if future is None or future.done():
+            return  # late or duplicate reply; the join already moved on
+        try:
+            future.set_result(parse_sample(frame.body))
+        except CodecError:
+            return

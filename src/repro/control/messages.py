@@ -1,0 +1,197 @@
+"""The control-plane message vocabulary.
+
+Every message travels in one control frame (:func:`repro.core.codec.
+encode_control`): a versioned header carrying the message *kind* and a
+request id, plus a JSON object body.  This module assigns the kinds and
+provides build/parse helpers that validate bodies eagerly -- a malformed
+body is a :class:`~repro.core.codec.CodecError` at the endpoint, counted
+and dropped, never an exception that kills a receive loop.
+
+Request/response pairs:
+
+- ``JOIN`` -> ``SAMPLE``: a daemon registers its gossip address and asks
+  for a bootstrap sample of live peers.  Registration is idempotent; the
+  reply mirrors the request id.
+- ``STATUS`` -> ``STATUS_REPLY``: an operator (the supervisor, a human
+  with a UDP socket) asks the seed for its registry snapshot and the
+  cluster-wide stats aggregation.
+
+Fire-and-forget:
+
+- ``HEARTBEAT``: refreshes the sender's TTL; optionally carries the
+  daemon's counters snapshot for cluster-wide aggregation at the seed.
+- ``LEAVE``: graceful deregistration on shutdown (best effort -- a
+  crashed daemon simply stops heartbeating and expires).
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.codec import CodecError, decode_control, encode_control
+from repro.core.descriptor import Address
+
+__all__ = [
+    "KIND_JOIN",
+    "KIND_SAMPLE",
+    "KIND_HEARTBEAT",
+    "KIND_LEAVE",
+    "KIND_STATUS",
+    "KIND_STATUS_REPLY",
+    "KIND_NAMES",
+    "join_body",
+    "sample_body",
+    "heartbeat_body",
+    "leave_body",
+    "parse_address_body",
+    "parse_join",
+    "parse_sample",
+    "query_status",
+]
+
+KIND_JOIN = 1
+KIND_SAMPLE = 2
+KIND_HEARTBEAT = 3
+KIND_LEAVE = 4
+KIND_STATUS = 5
+KIND_STATUS_REPLY = 6
+
+KIND_NAMES: Dict[int, str] = {
+    KIND_JOIN: "join",
+    KIND_SAMPLE: "sample",
+    KIND_HEARTBEAT: "heartbeat",
+    KIND_LEAVE: "leave",
+    KIND_STATUS: "status",
+    KIND_STATUS_REPLY: "status-reply",
+}
+"""Kind byte -> human-readable name (reports, error messages)."""
+
+MAX_SAMPLE = 128
+"""Upper bound on the peer count a single JOIN may request."""
+
+
+def _check_address(address: object) -> str:
+    if not isinstance(address, str) or not address:
+        raise CodecError(
+            f"control body needs a non-empty string address, got {address!r}"
+        )
+    return address
+
+
+# -- body builders -------------------------------------------------------------
+
+
+def join_body(address: Address, count: int) -> dict:
+    """Body of a JOIN request: the joiner's gossip address + sample size."""
+    return {"address": _check_address(address), "count": int(count)}
+
+
+def sample_body(peers: List[Address], ttl: float) -> dict:
+    """Body of a SAMPLE reply: live peer addresses + the registry TTL
+    (so the client knows how often it must heartbeat)."""
+    return {"peers": [_check_address(p) for p in peers], "ttl": float(ttl)}
+
+
+def heartbeat_body(address: Address, stats: Optional[Dict[str, int]] = None) -> dict:
+    """Body of a HEARTBEAT: sender address, optional counters snapshot."""
+    body: dict = {"address": _check_address(address)}
+    if stats is not None:
+        body["stats"] = stats
+    return body
+
+
+def leave_body(address: Address) -> dict:
+    """Body of a LEAVE: the departing gossip address."""
+    return {"address": _check_address(address)}
+
+
+# -- body parsers (endpoint side; raise CodecError on any defect) --------------
+
+
+def parse_address_body(body: dict) -> str:
+    """Extract the mandatory ``address`` field (heartbeat/leave bodies)."""
+    return _check_address(body.get("address"))
+
+
+def parse_join(body: dict) -> Tuple[str, int]:
+    """Validate a JOIN body; returns ``(address, clamped sample count)``."""
+    address = _check_address(body.get("address"))
+    count = body.get("count", MAX_SAMPLE)
+    if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+        raise CodecError(f"join count must be a positive int, got {count!r}")
+    return address, min(count, MAX_SAMPLE)
+
+
+def parse_sample(body: dict) -> Tuple[List[str], float]:
+    """Validate a SAMPLE body; returns ``(peers, ttl)``."""
+    peers = body.get("peers")
+    if not isinstance(peers, list):
+        raise CodecError(f"sample body needs a peers list, got {peers!r}")
+    ttl = body.get("ttl")
+    if not isinstance(ttl, (int, float)) or isinstance(ttl, bool) or ttl <= 0:
+        raise CodecError(f"sample ttl must be a positive number, got {ttl!r}")
+    return [_check_address(p) for p in peers], float(ttl)
+
+
+def parse_stats(body: dict) -> Optional[Dict[str, int]]:
+    """Extract a heartbeat's optional counters snapshot (validated)."""
+    stats = body.get("stats")
+    if stats is None:
+        return None
+    if not isinstance(stats, dict):
+        raise CodecError(f"heartbeat stats must be an object, got {stats!r}")
+    cleaned: Dict[str, int] = {}
+    for key, value in stats.items():
+        if not isinstance(key, str):
+            raise CodecError(f"stats key must be a string, got {key!r}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise CodecError(f"stats[{key!r}] must be a number, got {value!r}")
+        cleaned[key] = int(value)
+    return cleaned
+
+
+# -- synchronous operator query -------------------------------------------------
+
+
+def query_status(
+    seed_address: Address,
+    timeout: float = 2.0,
+    retries: int = 3,
+    rng: Optional[random.Random] = None,
+) -> dict:
+    """Ask a live seed for its STATUS snapshot over a plain UDP socket.
+
+    Synchronous on purpose: this is the operator/orchestrator path
+    (:class:`~repro.control.supervisor.ClusterSupervisor`, scripts,
+    humans) which runs outside any event loop.  Each attempt waits
+    ``timeout`` seconds; the datagram is re-sent ``retries`` times before
+    :class:`TimeoutError` propagates (UDP loses packets, by design).
+    """
+    from repro.net.transport import parse_address
+
+    host, port = parse_address(seed_address)
+    rng = rng if rng is not None else random.Random()
+    request_id = rng.randrange(1 << 32)
+    request = encode_control(KIND_STATUS, {}, request_id)
+    last_error: Optional[Exception] = None
+    with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+        sock.settimeout(timeout)
+        for _ in range(max(1, retries)):
+            sock.sendto(request, (host, port))
+            try:
+                data, _ = sock.recvfrom(1 << 16)
+                frame = decode_control(data)
+            except socket.timeout as exc:
+                last_error = exc
+                continue
+            except CodecError as exc:
+                last_error = exc
+                continue
+            if frame.kind == KIND_STATUS_REPLY and frame.request_id == request_id:
+                return frame.body
+    raise TimeoutError(
+        f"seed {seed_address} did not answer a status query "
+        f"({retries} attempts of {timeout}s)"
+    ) from last_error

@@ -1,0 +1,542 @@
+"""The observability plane: scrape-time metrics over plain HTTP.
+
+A :class:`MetricsRegistry` holds *callbacks*, not values: every metric
+is read at scrape time from the live object that owns it (a daemon's
+:class:`~repro.net.daemon.DaemonStats`, a seed's
+:class:`~repro.control.registry.SeedRegistry`), so instrumenting the hot
+path costs nothing -- the counters the data plane already maintains ARE
+the metrics.  :class:`MetricsServer` serves the registry from a stdlib
+``ThreadingHTTPServer`` on a daemon thread:
+
+- ``GET /metrics`` -- Prometheus text exposition format (version 0.0.4),
+  scrapeable by a stock Prometheus;
+- ``GET /metrics.json`` -- the same numbers as one JSON object, for
+  scripts and tests.
+
+:func:`daemon_metrics` and :func:`seed_metrics` build the standard
+registries for the two endpoint types; the cluster-wide view at the seed
+aggregates the counter snapshots daemons gossip in their heartbeats.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsServer",
+    "daemon_metrics",
+    "seed_metrics",
+]
+
+_COUNTER = "counter"
+_GAUGE = "gauge"
+_HISTOGRAM = "histogram"
+
+DEFAULT_AGE_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+"""Histogram buckets for view-entry age in hops (powers of two: ages are
+bounded by gossip round counts, not wall time)."""
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Series:
+    __slots__ = ("labels", "callback")
+
+    def __init__(self, labels: Dict[str, str], callback: Callable) -> None:
+        self.labels = dict(labels)
+        self.callback = callback
+
+
+class _Metric:
+    __slots__ = ("name", "kind", "help", "series", "buckets", "label_name")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        buckets: Optional[Sequence[float]] = None,
+        label_name: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.series: List[_Series] = []
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.label_name = label_name
+
+
+class MetricsRegistry:
+    """Named metrics resolved through callbacks at scrape time.
+
+    Three kinds, mirroring the Prometheus model:
+
+    - ``counter(name, help, callback)`` -- monotonic; callback returns
+      the current total;
+    - ``gauge(name, help, callback)`` -- point-in-time value;
+    - ``histogram(name, help, callback, buckets)`` -- callback returns
+      the *current observations* (e.g. the hop count of every view
+      entry); bucketing happens at render time.
+
+    ``labeled_counter`` registers a whole family in one call: its
+    callback returns a ``{label_value: total}`` dict, rendered as
+    ``name{label="key"} total`` per entry -- how the seed exposes the
+    cluster-wide aggregation without knowing daemon counter names ahead
+    of time.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+
+    # -- registration --------------------------------------------------------
+
+    def _add(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if existing.kind != metric.kind:
+                    raise ConfigurationError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind}, cannot re-register as {metric.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            self._order.append(metric.name)
+            return metric
+
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        callback: Callable[[], float],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Register one counter series (optionally labeled)."""
+        metric = self._add(_Metric(name, _COUNTER, help_text))
+        metric.series.append(_Series(labels or {}, callback))
+
+    def gauge(
+        self,
+        name: str,
+        help_text: str,
+        callback: Callable[[], float],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Register one gauge series (optionally labeled)."""
+        metric = self._add(_Metric(name, _GAUGE, help_text))
+        metric.series.append(_Series(labels or {}, callback))
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        callback: Callable[[], Iterable[float]],
+        buckets: Sequence[float] = DEFAULT_AGE_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Register a histogram; ``callback`` yields current observations."""
+        buckets = tuple(sorted(set(float(b) for b in buckets)))
+        if not buckets:
+            raise ConfigurationError("histogram needs at least one bucket")
+        metric = self._add(_Metric(name, _HISTOGRAM, help_text, buckets))
+        metric.series.append(_Series(labels or {}, callback))
+
+    def labeled_counter(
+        self,
+        name: str,
+        help_text: str,
+        label_name: str,
+        callback: Callable[[], Dict[str, float]],
+    ) -> None:
+        """Register a counter *family*: ``callback`` returns a mapping of
+        label value -> total, one series per key at scrape time."""
+        metric = self._add(
+            _Metric(name, _COUNTER, help_text, label_name=label_name)
+        )
+        metric.label_name = label_name
+        metric.series.append(_Series({}, callback))
+
+    # -- rendering -----------------------------------------------------------
+
+    def _snapshot(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in self._order]
+
+    def render_text(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for metric in self._snapshot():
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for series in metric.series:
+                if metric.label_name is not None:
+                    family = series.callback()
+                    for key in sorted(family):
+                        labels = _format_labels({metric.label_name: key})
+                        lines.append(
+                            f"{metric.name}{labels} "
+                            f"{_format_value(family[key])}"
+                        )
+                elif metric.kind == _HISTOGRAM:
+                    lines.extend(self._render_histogram(metric, series))
+                else:
+                    labels = _format_labels(series.labels)
+                    lines.append(
+                        f"{metric.name}{labels} "
+                        f"{_format_value(series.callback())}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(metric: _Metric, series: _Series) -> List[str]:
+        observations = [float(v) for v in series.callback()]
+        lines: List[str] = []
+        cumulative = 0
+        remaining = sorted(observations)
+        index = 0
+        for bound in metric.buckets or ():
+            while index < len(remaining) and remaining[index] <= bound:
+                index += 1
+            cumulative = index
+            labels = dict(series.labels)
+            labels["le"] = _format_value(bound)
+            lines.append(
+                f"{metric.name}_bucket{_format_labels(labels)} {cumulative}"
+            )
+        labels = dict(series.labels)
+        labels["le"] = "+Inf"
+        lines.append(
+            f"{metric.name}_bucket{_format_labels(labels)} "
+            f"{len(observations)}"
+        )
+        base = _format_labels(series.labels)
+        lines.append(
+            f"{metric.name}_sum{base} {_format_value(sum(observations))}"
+        )
+        lines.append(f"{metric.name}_count{base} {len(observations)}")
+        return lines
+
+    def render_json(self) -> dict:
+        """The same numbers as one JSON object (scripts and tests)."""
+        out: dict = {}
+        for metric in self._snapshot():
+            entry: dict = {"type": metric.kind, "help": metric.help}
+            if metric.label_name is not None:
+                entry["label"] = metric.label_name
+                entry["values"] = {
+                    key: value
+                    for series in metric.series
+                    for key, value in sorted(series.callback().items())
+                }
+            elif metric.kind == _HISTOGRAM:
+                series = metric.series[0]
+                observations = [float(v) for v in series.callback()]
+                entry["count"] = len(observations)
+                entry["sum"] = sum(observations)
+                entry["buckets"] = {
+                    _format_value(bound): sum(
+                        1 for v in observations if v <= bound
+                    )
+                    for bound in metric.buckets or ()
+                }
+            elif len(metric.series) == 1 and not metric.series[0].labels:
+                entry["value"] = metric.series[0].callback()
+            else:
+                entry["values"] = [
+                    {"labels": series.labels, "value": series.callback()}
+                    for series in metric.series
+                ]
+            out[metric.name] = entry
+        return out
+
+
+# -- the HTTP endpoint -----------------------------------------------------------
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set by the server subclass
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler signature)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            payload = self.server.registry.render_text().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            payload = json.dumps(
+                self.server.registry.render_json(), sort_keys=True
+            ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr chatter (scrapes are periodic)."""
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    registry: MetricsRegistry
+
+
+class MetricsServer:
+    """Serves one :class:`MetricsRegistry` over HTTP on a daemon thread.
+
+    ``port=0`` (the default) binds an ephemeral port -- read it back
+    from :attr:`port` after :meth:`start`.  The server thread is a
+    daemon thread and every handler runs on a daemon thread, so a
+    crashing process never hangs on the metrics plane.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 until :meth:`start`)."""
+        if self._server is None:
+            return 0
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> int:
+        """Bind and start serving; returns the bound port (idempotent)."""
+        if self._server is not None:
+            return self.port
+        server = _Server(
+            (self.host, self._requested_port), _MetricsHandler
+        )
+        server.registry = self.registry
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name=f"repro-metrics:{server.server_address[1]}",
+            daemon=True,
+        )
+        thread.start()
+        self._server = server
+        self._thread = thread
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the server thread (idempotent)."""
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+
+# -- standard registries -----------------------------------------------------------
+
+
+def daemon_metrics(daemon, client=None) -> MetricsRegistry:
+    """The standard metrics registry for one gossip daemon.
+
+    Exposes every :class:`~repro.net.daemon.DaemonStats` counter, the
+    service's ``getPeer()`` serve counter, the current view fill and a
+    histogram of view-entry age in hops.  Pass the daemon's
+    :class:`~repro.control.client.IntroducerClient` to add the
+    control-plane counters (join attempts, heartbeats sent).
+    """
+    registry = MetricsRegistry()
+    stats = daemon.stats
+    registry.counter(
+        "repro_cycles_total",
+        "Active-thread wakeups of the gossip daemon.",
+        lambda: stats.cycles,
+    )
+    registry.counter(
+        "repro_exchanges_initiated_total",
+        "Gossip exchanges started (peer selected, request shipped).",
+        lambda: stats.exchanges_initiated,
+    )
+    registry.counter(
+        "repro_exchanges_completed_total",
+        "Initiated exchanges that ran to completion.",
+        lambda: stats.exchanges_completed,
+    )
+    registry.counter(
+        "repro_pull_timeouts_total",
+        "Initiated pull exchanges whose reply missed the timeout.",
+        lambda: stats.timeouts,
+    )
+    registry.counter(
+        "repro_requests_received_total",
+        "Gossip requests answered by the passive thread.",
+        lambda: stats.requests_received,
+    )
+    registry.counter(
+        "repro_replies_received_total",
+        "Gossip replies accepted and merged.",
+        lambda: stats.replies_received,
+    )
+    registry.counter(
+        "repro_late_replies_dropped_total",
+        "Replies dropped because their exchange had already timed out.",
+        lambda: stats.late_replies,
+    )
+    registry.counter(
+        "repro_codec_errors_total",
+        "Datagrams the codec or envelope parser rejected.",
+        lambda: stats.invalid_messages,
+    )
+    registry.counter(
+        "repro_getpeer_served_total",
+        "Successful getPeer() draws served by the sampling service.",
+        lambda: daemon.service.samples_served,
+    )
+
+    def view_fill() -> int:
+        with daemon.service.lock:
+            return len(daemon.node.view)
+
+    registry.gauge(
+        "repro_view_size",
+        "Descriptors currently held in the partial view.",
+        view_fill,
+    )
+
+    def view_ages() -> List[int]:
+        with daemon.service.lock:
+            return [d.hop_count for d in daemon.node.view]
+
+    registry.histogram(
+        "repro_view_age_hops",
+        "Age (hop count) of each descriptor in the partial view.",
+        view_ages,
+        buckets=DEFAULT_AGE_BUCKETS,
+    )
+    if client is not None:
+        registry.counter(
+            "repro_join_attempts_total",
+            "JOIN datagrams sent to introducers.",
+            lambda: client.join_attempts,
+        )
+        registry.counter(
+            "repro_heartbeats_sent_total",
+            "Heartbeats sent to introducers.",
+            lambda: client.heartbeats_sent,
+        )
+    return registry
+
+
+def seed_metrics(seed) -> MetricsRegistry:
+    """The standard metrics registry for one seed endpoint.
+
+    Exposes the seed's own operational counters, the registry's liveness
+    counters, the current live-node gauge -- and, as the labeled family
+    ``repro_cluster_daemon_counter_total{counter=...}``, the sum of the
+    most recent counters snapshot each live daemon gossiped in its
+    heartbeats: the cluster-wide aggregation.
+    """
+    registry = MetricsRegistry()
+    stats = seed.stats
+    reg = seed.registry
+    registry.counter(
+        "repro_seed_joins_total",
+        "JOIN requests handled.",
+        lambda: stats.joins,
+    )
+    registry.counter(
+        "repro_seed_samples_sent_total",
+        "Bootstrap SAMPLE replies sent.",
+        lambda: stats.samples_sent,
+    )
+    registry.counter(
+        "repro_seed_heartbeats_total",
+        "Heartbeats handled.",
+        lambda: stats.heartbeats,
+    )
+    registry.counter(
+        "repro_seed_leaves_total",
+        "Graceful LEAVE deregistrations handled.",
+        lambda: stats.leaves,
+    )
+    registry.counter(
+        "repro_seed_status_queries_total",
+        "STATUS queries answered.",
+        lambda: stats.status_queries,
+    )
+    registry.counter(
+        "repro_seed_invalid_messages_total",
+        "Control datagrams rejected by codec or body validation.",
+        lambda: stats.invalid_messages,
+    )
+    registry.counter(
+        "repro_seed_expirations_total",
+        "Leases dropped because the daemon stopped heartbeating.",
+        lambda: reg.expirations,
+    )
+    registry.counter(
+        "repro_seed_registrations_total",
+        "JOIN registrations accepted (renewals included).",
+        lambda: reg.registrations,
+    )
+    registry.gauge(
+        "repro_seed_live_nodes",
+        "Daemons currently holding a live lease.",
+        lambda: len(reg),
+    )
+    registry.labeled_counter(
+        "repro_cluster_daemon_counter_total",
+        "Cluster-wide sum of the latest per-daemon counters "
+        "(gossiped in heartbeats).",
+        "counter",
+        lambda: {k: float(v) for k, v in reg.stats_totals().items()},
+    )
+    return registry

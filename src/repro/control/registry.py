@@ -1,0 +1,221 @@
+"""TTL-based liveness registry: the state behind the seed node.
+
+:class:`SeedRegistry` maps gossip addresses to leases.  A registration
+or heartbeat renews the lease for one TTL; entries whose lease has
+lapsed are expired *lazily* -- every read/write sweeps first -- so
+behavior is fully deterministic under an injectable clock (tests hand in
+a fake ``clock`` and advance it explicitly; production uses
+``time.monotonic``).
+
+The registry also stores the most recent counters snapshot each daemon
+gossiped in its heartbeats, which is what the seed aggregates into the
+cluster-wide metrics view (:func:`repro.control.metrics.seed_metrics`).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError
+
+__all__ = ["SeedRegistry"]
+
+
+class _Lease:
+    __slots__ = ("deadline", "registered_at", "heartbeats", "stats")
+
+    def __init__(self, deadline: float, registered_at: float) -> None:
+        self.deadline = deadline
+        self.registered_at = registered_at
+        self.heartbeats = 0
+        self.stats: Optional[Dict[str, int]] = None
+
+
+class SeedRegistry:
+    """Liveness table with per-entry TTL leases (injectable clock).
+
+    Parameters
+    ----------
+    ttl:
+        Lease length in clock units (seconds under the default clock).
+        A daemon that neither re-registers nor heartbeats within one TTL
+        is considered dead and silently expired.
+    clock:
+        Monotonic time source.  Tests inject a controllable fake; the
+        registry never calls anything else, so expiry is deterministic.
+    rng:
+        Source of sampling randomness for :meth:`sample` (seeded in
+        tests for reproducible bootstrap hand-outs).
+    """
+
+    def __init__(
+        self,
+        ttl: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ConfigurationError(f"registry ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
+        self._leases: Dict[Address, _Lease] = {}
+        self.registrations = 0
+        """JOIN registrations accepted (renewals of known entries included)."""
+        self.heartbeats = 0
+        """Heartbeats applied (unknown senders count as registrations too)."""
+        self.departures = 0
+        """Graceful LEAVE deregistrations."""
+        self.expirations = 0
+        """Entries dropped because their lease lapsed."""
+
+    def __len__(self) -> int:
+        self.expire()
+        return len(self._leases)
+
+    def __contains__(self, address: Address) -> bool:
+        self.expire()
+        return address in self._leases
+
+    # -- mutation ----------------------------------------------------------
+
+    def register(self, address: Address) -> bool:
+        """Register (or renew) one address; returns whether it was new.
+
+        Re-registration is idempotent: a daemon that retries its JOIN --
+        because the SAMPLE reply was lost, or after a restart -- simply
+        renews its lease; nothing is duplicated and nothing errors.
+        """
+        now = self._clock()
+        self._sweep(now)
+        self.registrations += 1
+        lease = self._leases.get(address)
+        if lease is None:
+            self._leases[address] = _Lease(now + self.ttl, now)
+            return True
+        lease.deadline = now + self.ttl
+        return False
+
+    def heartbeat(
+        self, address: Address, stats: Optional[Dict[str, int]] = None
+    ) -> bool:
+        """Renew one lease (registering unknown senders); returns whether
+        the address was already known.
+
+        Unknown heartbeaters are (re-)registered rather than rejected:
+        after a seed restart the surviving daemons' next heartbeats
+        repopulate the registry without any re-join round.
+        """
+        now = self._clock()
+        self._sweep(now)
+        self.heartbeats += 1
+        lease = self._leases.get(address)
+        known = lease is not None
+        if lease is None:
+            lease = _Lease(now + self.ttl, now)
+            self._leases[address] = lease
+        lease.deadline = now + self.ttl
+        lease.heartbeats += 1
+        if stats is not None:
+            lease.stats = dict(stats)
+        return known
+
+    def deregister(self, address: Address) -> bool:
+        """Remove one address (graceful LEAVE); returns whether it existed."""
+        self._sweep(self._clock())
+        if self._leases.pop(address, None) is not None:
+            self.departures += 1
+            return True
+        return False
+
+    def expire(self) -> List[Address]:
+        """Drop every lapsed lease; returns the expired addresses."""
+        return self._sweep(self._clock())
+
+    def _sweep(self, now: float) -> List[Address]:
+        expired = [
+            address
+            for address, lease in self._leases.items()
+            if lease.deadline <= now
+        ]
+        for address in expired:
+            del self._leases[address]
+        self.expirations += len(expired)
+        return expired
+
+    # -- queries -----------------------------------------------------------
+
+    def live(self) -> List[Address]:
+        """Live addresses in registration order (after expiry sweep)."""
+        self.expire()
+        return list(self._leases)
+
+    def remaining(self, address: Address) -> Optional[float]:
+        """Seconds of lease left for ``address`` (``None`` if unknown)."""
+        self.expire()
+        lease = self._leases.get(address)
+        if lease is None:
+            return None
+        return lease.deadline - self._clock()
+
+    def sample(
+        self, count: int, exclude: Sequence[Address] = ()
+    ) -> List[Address]:
+        """A uniform sample (without replacement) of live addresses.
+
+        Returns fewer than ``count`` entries when the registry holds
+        fewer -- honest shortfall, like
+        :meth:`~repro.core.service.PeerSamplingService.get_peers`.
+        """
+        self.expire()
+        pool = [a for a in self._leases if a not in set(exclude)]
+        if count >= len(pool):
+            return pool
+        return self._rng.sample(pool, count)
+
+    def stats_of(self, address: Address) -> Optional[Dict[str, int]]:
+        """The most recent counters snapshot gossiped by ``address``."""
+        self.expire()
+        lease = self._leases.get(address)
+        if lease is None or lease.stats is None:
+            return None
+        return dict(lease.stats)
+
+    def stats_totals(self) -> Dict[str, int]:
+        """Sum of the latest per-daemon counters over all live entries."""
+        self.expire()
+        totals: Dict[str, int] = {}
+        for lease in self._leases.values():
+            if lease.stats is None:
+                continue
+            for key, value in lease.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def snapshot(self) -> dict:
+        """A JSON-ready view of the registry (the STATUS reply body)."""
+        self.expire()
+        now = self._clock()
+        nodes = {
+            str(address): {
+                "remaining": round(lease.deadline - now, 6),
+                "heartbeats": lease.heartbeats,
+                "stats": lease.stats,
+            }
+            for address, lease in self._leases.items()
+        }
+        return {
+            "live": len(self._leases),
+            "ttl": self.ttl,
+            "nodes": nodes,
+            "totals": self.stats_totals(),
+            "counters": {
+                "registrations": self.registrations,
+                "heartbeats": self.heartbeats,
+                "departures": self.departures,
+                "expirations": self.expirations,
+            },
+        }

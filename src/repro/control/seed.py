@@ -1,0 +1,174 @@
+"""The seed/introduction service: the cluster's bootstrap endpoint.
+
+A :class:`SeedService` listens on one datagram endpoint (UDP in
+production, loopback in tests) and speaks the control-plane vocabulary
+of :mod:`repro.control.messages`:
+
+- a **JOIN** registers the joiner and answers with a **SAMPLE** of live
+  peers -- the out-of-band bootstrap the paper assumes ("to bootstrap
+  the service, we assume that there is a server whose address is known",
+  Section 5.1's growing scenario makes it a single contact; the seed
+  generalizes it to a random sample so the contact is not a hub);
+- **HEARTBEAT**s renew the sender's TTL lease and may carry its counters
+  snapshot, which the seed aggregates cluster-wide;
+- **LEAVE** deregisters gracefully; crashed daemons simply expire;
+- **STATUS** answers with the registry snapshot (the supervisor's and
+  the metrics plane's source of truth).
+
+The seed is *introduction only*: gossip exchanges never traverse it, so
+a bootstrapped overlay keeps running if the seed dies -- the control
+plane/data plane split.  All state lives in a
+:class:`~repro.control.registry.SeedRegistry` with an injectable clock,
+so every liveness decision is deterministic in tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Callable, Optional
+
+from repro.core.codec import (
+    CodecError,
+    decode_control,
+    encode_control,
+)
+from repro.core.descriptor import Address
+from repro.control.messages import (
+    KIND_HEARTBEAT,
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_SAMPLE,
+    KIND_STATUS,
+    KIND_STATUS_REPLY,
+    parse_address_body,
+    parse_join,
+    parse_stats,
+    sample_body,
+)
+from repro.control.registry import SeedRegistry
+from repro.net.transport import DatagramTransport
+
+__all__ = ["SeedService", "SeedStats"]
+
+
+@dataclasses.dataclass
+class SeedStats:
+    """Operational counters of one seed endpoint (monotonic)."""
+
+    joins: int = 0
+    samples_sent: int = 0
+    heartbeats: int = 0
+    leaves: int = 0
+    status_queries: int = 0
+    invalid_messages: int = 0
+    """Datagrams the control codec or body validation rejected."""
+
+
+class SeedService:
+    """One introduction endpoint over a datagram transport.
+
+    Parameters
+    ----------
+    transport:
+        A startable :class:`~repro.net.transport.DatagramTransport`; the
+        seed takes over its receive callback.
+    ttl:
+        Liveness lease length handed to the registry (and echoed to
+        joiners in SAMPLE replies so clients derive their heartbeat
+        period from it).
+    clock / rng:
+        Forwarded to the :class:`SeedRegistry` -- injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        transport: DatagramTransport,
+        ttl: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.transport = transport
+        self.registry = SeedRegistry(ttl=ttl, clock=clock, rng=rng)
+        self.stats = SeedStats()
+        transport.receiver = self._on_datagram
+
+    @property
+    def address(self) -> Address:
+        """The endpoint's address (known after :meth:`start` for UDP)."""
+        return self.transport.local_address
+
+    async def start(self) -> None:
+        """Bind/register the endpoint (idempotent)."""
+        await self.transport.start()
+
+    async def stop(self) -> None:
+        """Release the endpoint.  Registry state is kept: a restarted
+        seed on the same state would keep its leases (callers that want
+        a cold restart build a fresh service)."""
+        await self.transport.close()
+
+    # -- receive path --------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, sender: Address) -> None:
+        try:
+            frame = decode_control(data)
+        except CodecError:
+            self.stats.invalid_messages += 1
+            return
+        try:
+            self._dispatch(frame, sender)
+        except CodecError:
+            # Malformed body of a well-framed message: count, drop, live on.
+            self.stats.invalid_messages += 1
+
+    def _dispatch(self, frame, sender: Address) -> None:
+        if frame.kind == KIND_JOIN:
+            address, count = parse_join(frame.body)
+            self.stats.joins += 1
+            self.registry.register(address)
+            # The joiner never appears in its own bootstrap sample.
+            peers = self.registry.sample(count, exclude=(address,))
+            reply = encode_control(
+                KIND_SAMPLE,
+                sample_body(peers, self.registry.ttl),
+                frame.request_id,
+            )
+            self.transport.send(sender, reply)
+            self.stats.samples_sent += 1
+        elif frame.kind == KIND_HEARTBEAT:
+            address = parse_address_body(frame.body)
+            stats = parse_stats(frame.body)
+            self.stats.heartbeats += 1
+            self.registry.heartbeat(address, stats)
+        elif frame.kind == KIND_LEAVE:
+            address = parse_address_body(frame.body)
+            self.stats.leaves += 1
+            self.registry.deregister(address)
+        elif frame.kind == KIND_STATUS:
+            self.stats.status_queries += 1
+            snapshot = self.registry.snapshot()
+            snapshot["seed"] = {
+                "joins": self.stats.joins,
+                "heartbeats": self.stats.heartbeats,
+                "leaves": self.stats.leaves,
+                "status_queries": self.stats.status_queries,
+                "invalid_messages": self.stats.invalid_messages,
+            }
+            try:
+                reply = encode_control(
+                    KIND_STATUS_REPLY, snapshot, frame.request_id
+                )
+            except CodecError:
+                # Very large clusters: drop the per-node detail rather
+                # than the whole answer (totals still fit).
+                snapshot["nodes"] = {}
+                snapshot["truncated"] = True
+                reply = encode_control(
+                    KIND_STATUS_REPLY, snapshot, frame.request_id
+                )
+            self.transport.send(sender, reply)
+        else:
+            self.stats.invalid_messages += 1

@@ -1,0 +1,330 @@
+"""Process-level cluster orchestration: one seed, N gossip daemons.
+
+:class:`ClusterSupervisor` boots a ``repro-seed`` process and N
+``repro-node`` processes (real subprocesses, real UDP sockets) that
+bootstrap **only** through the seed -- no daemon is handed another
+daemon's address.  It then plays the operator:
+
+- :meth:`status` asks the seed for its registry snapshot (live nodes,
+  lease remainders, cluster-wide counter totals);
+- :meth:`wait_for_live` blocks until the seed sees N live leases;
+- :meth:`kill` hard-kills daemons (SIGKILL -- no LEAVE, no goodbye),
+  which is how liveness expiry and overlay self-healing are exercised;
+- :meth:`restart_crashed` respawns every exited daemon on a fresh
+  ephemeral port; the replacement re-joins through the seed like any
+  newcomer.
+
+Each subprocess runs ``python -u -m repro...`` with ``PYTHONPATH``
+derived from the imported :mod:`repro` package, so the supervisor works
+from a source checkout and an installed package alike.  A reader thread
+per process drains stdout into a bounded deque (a full pipe would stall
+the child) and parses the ``... listening on HOST:PORT`` banner for the
+child's address.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import repro
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError, ReproError
+from repro.control.messages import query_status
+
+__all__ = ["ClusterSupervisor", "SupervisorError"]
+
+_BANNER = " listening on "
+
+
+class SupervisorError(ReproError):
+    """A managed process failed to start or the cluster never converged."""
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``-m repro...`` importable in children."""
+    package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    if existing:
+        return package_root + os.pathsep + existing
+    return package_root
+
+
+class _ManagedProcess:
+    """One supervised child: process handle + stdout drain + banner parse."""
+
+    def __init__(self, name: str, argv: Sequence[str], env: Dict[str, str]) -> None:
+        self.name = name
+        self.argv = list(argv)
+        self.process = subprocess.Popen(
+            self.argv,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.lines: Deque[str] = deque(maxlen=400)
+        self.address: Optional[Address] = None
+        self._address_ready = threading.Event()
+        self._reader = threading.Thread(
+            target=self._drain, name=f"repro-drain:{name}", daemon=True
+        )
+        self._reader.start()
+
+    def _drain(self) -> None:
+        stream = self.process.stdout
+        assert stream is not None
+        for line in stream:
+            line = line.rstrip()
+            self.lines.append(line)
+            if self.address is None and _BANNER in line:
+                self.address = line.split(_BANNER, 1)[1].split()[0]
+                self._address_ready.set()
+        # EOF: unblock address waiters even if the banner never came.
+        self._address_ready.set()
+
+    def wait_address(self, timeout: float) -> Address:
+        self._address_ready.wait(timeout)
+        if self.address is None:
+            raise SupervisorError(
+                f"{self.name} printed no listening banner within {timeout}s "
+                f"(exit={self.process.poll()}); last output: "
+                f"{list(self.lines)[-5:]}"
+            )
+        return self.address
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: simulate a crash -- no LEAVE, no cleanup."""
+        if self.alive():
+            self.process.kill()
+        self.process.wait()
+
+    def terminate(self, grace: float = 5.0) -> None:
+        if self.alive():
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+        self._reader.join(timeout=2.0)
+
+
+class ClusterSupervisor:
+    """Boot and babysit a live gossip cluster (seed + N daemons).
+
+    Parameters
+    ----------
+    daemons:
+        Number of gossip daemons to boot.
+    ttl:
+        Seed lease TTL in seconds (daemons heartbeat at ``ttl / 3``).
+    cycle / view_size / protocol:
+        Forwarded to every ``repro-node``.
+    host:
+        Interface everything binds (ports are always ephemeral).
+    metrics:
+        When true, every daemon and the seed serve a ``/metrics``
+        endpoint on an ephemeral HTTP port.
+    startup_timeout:
+        Seconds to wait for each child's listening banner.
+    """
+
+    def __init__(
+        self,
+        daemons: int = 4,
+        ttl: float = 3.0,
+        cycle: float = 0.2,
+        view_size: int = 8,
+        protocol: str = "(rand,head,pushpull)",
+        host: str = "127.0.0.1",
+        metrics: bool = False,
+        python: str = sys.executable,
+        startup_timeout: float = 15.0,
+        extra_node_args: Sequence[str] = (),
+    ) -> None:
+        if daemons < 1:
+            raise ConfigurationError(f"need at least 1 daemon, got {daemons}")
+        if ttl <= 0.0:
+            raise ConfigurationError(f"ttl must be positive, got {ttl}")
+        if cycle <= 0.0:
+            raise ConfigurationError(f"cycle must be positive, got {cycle}")
+        self.n_daemons = daemons
+        self.ttl = ttl
+        self.cycle = cycle
+        self.view_size = view_size
+        self.protocol = protocol
+        self.host = host
+        self.metrics = metrics
+        self.python = python
+        self.startup_timeout = startup_timeout
+        self.extra_node_args = list(extra_node_args)
+        self.seed: Optional[_ManagedProcess] = None
+        self.daemons: List[_ManagedProcess] = []
+        self.restarts = 0
+        self._env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
+        self._sequence = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ClusterSupervisor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def seed_address(self) -> Address:
+        if self.seed is None or self.seed.address is None:
+            raise SupervisorError("seed not started")
+        return self.seed.address
+
+    def start(self) -> Address:
+        """Boot the seed, then every daemon; returns the seed address."""
+        if self.seed is not None:
+            return self.seed_address
+        argv = [
+            self.python, "-u", "-m", "repro.control.cli",
+            "--bind", f"{self.host}:0",
+            "--ttl", str(self.ttl),
+            "--report-every", "0",
+        ]
+        if self.metrics:
+            argv += ["--metrics-port", "0"]
+        self.seed = _ManagedProcess("seed", argv, self._env)
+        try:
+            self.seed.wait_address(self.startup_timeout)
+        except SupervisorError:
+            self.stop()
+            raise
+        for _ in range(self.n_daemons):
+            self.daemons.append(self._spawn_daemon())
+        return self.seed_address
+
+    def _spawn_daemon(self) -> _ManagedProcess:
+        self._sequence += 1
+        name = f"node-{self._sequence}"
+        argv = [
+            self.python, "-u", "-m", "repro.net.cli",
+            "--bind", f"{self.host}:0",
+            "--introducer", self.seed_address,
+            "--cycle", str(self.cycle),
+            "--view-size", str(self.view_size),
+            "--protocol", self.protocol,
+            "--timeout", str(max(0.1, self.cycle / 2)),
+            "--report-every", "0",
+        ]
+        if self.metrics:
+            argv += ["--metrics-port", "0"]
+        argv += self.extra_node_args
+        return _ManagedProcess(name, argv, self._env)
+
+    def stop(self) -> None:
+        """Terminate every daemon, then the seed (idempotent)."""
+        for proc in self.daemons:
+            proc.terminate()
+        self.daemons = []
+        seed, self.seed = self.seed, None
+        if seed is not None:
+            seed.terminate()
+
+    # -- operator actions ------------------------------------------------------
+
+    def daemon_addresses(
+        self, timeout: Optional[float] = None
+    ) -> List[Address]:
+        """The gossip addresses of the managed daemons (banner-parsed)."""
+        deadline = timeout if timeout is not None else self.startup_timeout
+        return [proc.wait_address(deadline) for proc in self.daemons]
+
+    def status(self, timeout: float = 2.0, retries: int = 5) -> dict:
+        """The seed's registry snapshot (see ``SeedRegistry.snapshot``)."""
+        return query_status(self.seed_address, timeout=timeout, retries=retries)
+
+    def live_count(self) -> int:
+        """Live leases at the seed right now (0 if the query times out)."""
+        try:
+            return int(self.status(timeout=0.5, retries=2)["live"])
+        except TimeoutError:
+            return 0
+
+    def wait_for_live(self, count: int, deadline: float = 30.0) -> dict:
+        """Block until the seed reports ``count`` live leases.
+
+        Polls STATUS every ~quarter TTL; raises :class:`SupervisorError`
+        with the last snapshot when the deadline passes.
+        """
+        poll = max(0.05, min(self.ttl / 4.0, 0.5))
+        end = time.monotonic() + deadline
+        last: dict = {}
+        while time.monotonic() < end:
+            try:
+                last = self.status(timeout=poll, retries=1)
+            except TimeoutError:
+                time.sleep(poll)
+                continue
+            if int(last.get("live", -1)) == count:
+                return last
+            time.sleep(poll)
+        raise SupervisorError(
+            f"seed never reported {count} live nodes within {deadline}s "
+            f"(last snapshot: live={last.get('live')!r})"
+        )
+
+    def kill(self, count: int = 1) -> List[Address]:
+        """Hard-kill ``count`` daemons (SIGKILL, newest first).
+
+        A killed daemon sends no LEAVE: its lease must *expire* at the
+        seed, and its descriptors must age out of the overlay's views --
+        the paper's failure model, reproduced at process granularity.
+        Returns the killed gossip addresses.
+        """
+        victims = [proc for proc in reversed(self.daemons) if proc.alive()]
+        victims = victims[:count]
+        killed = []
+        for proc in victims:
+            address = proc.address
+            proc.kill()
+            if address is not None:
+                killed.append(address)
+        return killed
+
+    def restart_crashed(self) -> List[str]:
+        """Respawn every exited daemon; returns the new process names.
+
+        Replacements bind fresh ephemeral ports and bootstrap through
+        the seed exactly like first-time joiners -- the overlay heals by
+        the same mechanism it grew.
+        """
+        restarted = []
+        for index, proc in enumerate(self.daemons):
+            if proc.alive():
+                continue
+            replacement = self._spawn_daemon()
+            self.daemons[index] = replacement
+            self.restarts += 1
+            restarted.append(replacement.name)
+        return restarted
+
+    def alive_daemons(self) -> int:
+        """Managed daemon processes currently running."""
+        return sum(1 for proc in self.daemons if proc.alive())
+
+    def tail(self, name: str, lines: int = 20) -> List[str]:
+        """The last stdout lines of one managed process (diagnostics)."""
+        if self.seed is not None and name == self.seed.name:
+            return list(self.seed.lines)[-lines:]
+        for proc in self.daemons:
+            if proc.name == name:
+                return list(proc.lines)[-lines:]
+        raise SupervisorError(f"no managed process named {name!r}")

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import List, Tuple
+from typing import List, NamedTuple, Tuple
 
 from repro.core.descriptor import Address, NodeDescriptor
 from repro.core.errors import ReproError
@@ -246,3 +246,104 @@ def decode_frame(data: bytes) -> Tuple[int, List[NodeDescriptor]]:
 def decode_message(data: bytes) -> List[NodeDescriptor]:
     """Decode a message of either supported version (validating shape)."""
     return decode_frame(data)[1]
+
+
+# -- control plane: versioned request/response frames --------------------------
+#
+# The gossip frames above are the *data plane*.  The control plane
+# (:mod:`repro.control` -- seed-node bootstrap, liveness heartbeats,
+# stats aggregation) speaks its own small request/response format so the
+# two can never be confused: a distinct magic byte, an explicit protocol
+# version, a message *kind* (assigned by :mod:`repro.control.messages`),
+# a request id for correlating replies, and a JSON object body.  Bodies
+# stay JSON deliberately -- control traffic is a few messages per node
+# per second, so debuggability beats compactness here.
+
+CONTROL_MAGIC = 0x9C
+"""First byte of every control frame.
+
+Like :data:`V2_MAGIC` it is outside printable ASCII and invalid as a
+UTF-8 start byte, and it differs from :data:`V2_MAGIC`, so control
+frames, v2 gossip frames and v1 JSON documents are mutually
+unmistakable from their first byte.
+"""
+
+CONTROL_VERSION = 1
+"""Version of the control frame layout (bumped on incompatible change)."""
+
+MAX_CONTROL_BYTES = 1 << 16  # 64 KiB: control bodies are tiny
+"""Hard size cap for control frames, enforced on encode and decode."""
+
+_CONTROL_HEADER = struct.Struct("!BBBI")  # magic, version, kind, request id
+_MAX_REQUEST_ID = (1 << 32) - 1
+
+
+class ControlFrame(NamedTuple):
+    """One decoded control-plane message."""
+
+    version: int
+    kind: int
+    request_id: int
+    body: dict
+
+
+def is_control_frame(data: bytes) -> bool:
+    """Whether ``data`` starts like a control frame (cheap demux check)."""
+    return len(data) > 0 and data[0] == CONTROL_MAGIC
+
+
+def encode_control(kind: int, body: dict, request_id: int = 0) -> bytes:
+    """Encode one control frame (kind + correlation id + JSON body).
+
+    Raises :class:`CodecError` for out-of-range kinds/ids, bodies that are
+    not JSON objects, and frames exceeding :data:`MAX_CONTROL_BYTES` --
+    enforced on encode so an oversized frame never reaches a socket.
+    """
+    if not isinstance(kind, int) or isinstance(kind, bool) or not 0 <= kind <= 255:
+        raise CodecError(f"control kind must be an int in [0, 255], got {kind!r}")
+    if (
+        not isinstance(request_id, int)
+        or isinstance(request_id, bool)
+        or not 0 <= request_id <= _MAX_REQUEST_ID
+    ):
+        raise CodecError(
+            f"control request id must be an int in [0, 2^32), got {request_id!r}"
+        )
+    if not isinstance(body, dict):
+        raise CodecError(f"control body must be a dict, got {type(body).__name__}")
+    try:
+        payload = json.dumps(body, separators=(",", ":"), sort_keys=True).encode(
+            "utf-8"
+        )
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"control body is not JSON-serializable: {exc}") from exc
+    frame = _CONTROL_HEADER.pack(CONTROL_MAGIC, CONTROL_VERSION, kind, request_id)
+    frame += payload
+    if len(frame) > MAX_CONTROL_BYTES:
+        raise CodecError(
+            f"control frame of {len(frame)} bytes exceeds the "
+            f"{MAX_CONTROL_BYTES}-byte limit"
+        )
+    return frame
+
+
+def decode_control(data: bytes) -> ControlFrame:
+    """Decode one control frame; raises :class:`CodecError` on any defect."""
+    if len(data) > MAX_CONTROL_BYTES:
+        raise CodecError(
+            f"control frame of {len(data)} bytes exceeds the limit"
+        )
+    if len(data) < _CONTROL_HEADER.size:
+        raise CodecError(f"truncated control header ({len(data)} bytes)")
+    magic, version, kind, request_id = _CONTROL_HEADER.unpack_from(data, 0)
+    if magic != CONTROL_MAGIC:
+        raise CodecError(f"bad control magic byte: {magic:#x}")
+    if version != CONTROL_VERSION:
+        raise CodecError(f"unsupported control frame version: {version}")
+    try:
+        body = json.loads(data[_CONTROL_HEADER.size :].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise CodecError(f"undecodable control body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise CodecError("control body must be a JSON object")
+    return ControlFrame(version, kind, request_id, body)

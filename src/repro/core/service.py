@@ -41,7 +41,7 @@ class PeerSamplingService:
     acquisition per sample.
     """
 
-    __slots__ = ("_node", "_initialized", "_init_done", "_lock")
+    __slots__ = ("_node", "_initialized", "_init_done", "_lock", "samples_served")
 
     def __init__(self, node: GossipNode) -> None:
         self._node = node
@@ -52,6 +52,10 @@ class PeerSamplingService:
         # even if the gossip loop fills the view first -- see init().
         self._init_done = self._initialized
         self._lock = threading.RLock()
+        self.samples_served = 0
+        """Successful ``get_peer`` draws (monotonic; the metrics plane
+        exposes it as the ``getPeer()`` serve counter).  ``None`` draws
+        from an empty view are not served samples and do not count."""
 
     @property
     def node(self) -> GossipNode:
@@ -140,7 +144,10 @@ class PeerSamplingService:
                 raise NotInitializedError(
                     "PeerSamplingService.get_peer() called before init()"
                 )
-            return self._node.sample_peer()
+            peer = self._node.sample_peer()
+            if peer is not None:
+                self.samples_served += 1
+            return peer
 
     def get_peers(self, count: int) -> List[Address]:
         """Sample ``count`` peers in one atomic batch.

@@ -31,6 +31,9 @@ EXPERIMENT_IDS = (
     "figure6",
     "figure7",
     "services",
+    "live-control",
 )
 """All reproducible paper artefacts, in paper order (plus ``services``,
-the Section 1 applications run over a churned overlay)."""
+the Section 1 applications run over a churned overlay, and
+``live-control``, Figure-2-style convergence of a real UDP cluster
+bootstrapped only through the control plane's seed node)."""

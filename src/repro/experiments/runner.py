@@ -76,6 +76,8 @@ _DESCRIPTIONS = {
     "figure6": "connectivity under massive node removal",
     "figure7": "self-healing after a 50% crash",
     "services": "gossip services (broadcast/averaging/search) vs oracle",
+    "live-control": "live UDP cluster bootstrapped only through the seed "
+    "node (control plane)",
 }
 
 
@@ -97,7 +99,9 @@ def run_experiment(
     latency/loss only apply to event-driven engines, ``workers`` to the
     artefacts that execute multi-cell plans.
     """
-    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    # Experiment ids are user-facing (hyphenated); modules are importable.
+    module_name = experiment_id.replace("-", "_")
+    module = importlib.import_module(f"repro.experiments.{module_name}")
     scale = current_scale(scale_name)
     overrides = [
         (ENGINE_ENV_VAR, engine),

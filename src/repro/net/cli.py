@@ -8,6 +8,13 @@ Boot a node, point it at any live contact, and it joins the overlay::
     # every further node bootstraps from any live address
     repro-node --bind 127.0.0.1:9001 --contact 127.0.0.1:9000
 
+or bootstrap through a ``repro-seed`` introduction endpoint instead of a
+hand-picked contact -- the seed answers with a random sample of live
+peers, and the join is retried with capped exponential backoff until an
+introducer answers (so daemons may boot before their seed)::
+
+    repro-node --bind 127.0.0.1:0 --introducer 127.0.0.1:9900
+
 The daemon gossips forever (or for ``--cycles N``), printing a status
 line every ``--report-every`` seconds: view fill, exchange counters,
 timeout/late-reply counts.  ``Ctrl-C`` stops it cleanly -- there is no
@@ -29,6 +36,8 @@ from typing import List, Optional, Sequence
 from repro.core.config import NetworkConfig, ProtocolConfig
 from repro.core.errors import ReproError
 from repro.core.protocol import GossipNode
+from repro.control.client import IntroducerClient
+from repro.control.metrics import MetricsServer, daemon_metrics
 from repro.net.daemon import GossipDaemon
 from repro.net.transport import TransportError, UdpTransport, parse_address
 
@@ -53,6 +62,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="HOST:PORT",
         help="bootstrap contact address (repeatable)",
+    )
+    parser.add_argument(
+        "--introducer",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="repro-seed introduction endpoint to join through "
+        "(repeatable; tried in rotation with capped exponential "
+        "backoff, so the seed may come up after the daemon)",
+    )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus metrics over HTTP on this port "
+        "(0 = ephemeral; default: no metrics endpoint)",
     )
     parser.add_argument(
         "--protocol",
@@ -138,7 +161,7 @@ async def _run_daemon(args: argparse.Namespace) -> int:
     node = GossipNode(transport.local_address, config, rng)
     daemon = GossipDaemon(node, transport, network, rng=rng)
     contacts = [c for c in args.contact]
-    for contact in contacts:
+    for contact in contacts + list(args.introducer):
         parse_address(contact)  # fail fast on typos
     daemon.service.init(contacts)
     print(f"repro-node listening on {transport.local_address} "
@@ -147,15 +170,48 @@ async def _run_daemon(args: argparse.Namespace) -> int:
         print(f"bootstrapping from {', '.join(contacts)}")
     await daemon.start(run_loop=True)
     loop = asyncio.get_running_loop()
-    poll = min(0.25, args.cycle / 2)
-    next_report = loop.time() + args.report_every
+    client: Optional[IntroducerClient] = None
+    join_task: Optional[asyncio.Task] = None
+    metrics_server: Optional[MetricsServer] = None
     try:
+        if args.introducer:
+            client = IntroducerClient(daemon, args.introducer, rng=rng)
+            await client.start()
+            print(f"joining via introducer(s) {', '.join(args.introducer)}")
+
+            async def _join() -> None:
+                peers = await client.join()
+                print(f"joined: {len(peers)} bootstrap peer(s) adopted")
+
+            # Background: the daemon answers gossip while the join retries
+            # (the introducer may not even be up yet).
+            join_task = loop.create_task(_join())
+        if args.metrics_port is not None:
+            metrics_server = MetricsServer(
+                daemon_metrics(daemon, client),
+                host=host,
+                port=args.metrics_port,
+            )
+            metrics_server.start()
+            print(f"metrics on {metrics_server.url}")
+        poll = min(0.25, args.cycle / 2)
+        next_report = loop.time() + args.report_every
         while args.cycles is None or daemon.stats.cycles < args.cycles:
             await asyncio.sleep(poll)
             if args.report_every > 0 and loop.time() >= next_report:
                 print(_status_line(daemon))
                 next_report += args.report_every
     finally:
+        if join_task is not None:
+            join_task.cancel()
+            try:
+                await join_task
+            except asyncio.CancelledError:
+                pass
+        if client is not None:
+            await client.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
         await daemon.stop()
         print(_status_line(daemon))
         print("stopped (descriptors will age out of the group's views)")

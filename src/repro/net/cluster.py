@@ -468,7 +468,26 @@ class LocalCluster:
         for daemon in self.daemons.values():
             for field, value in vars(daemon.stats).items():
                 totals[field] = totals.get(field, 0) + value
+            totals["peers_served"] = (
+                totals.get("peers_served", 0) + daemon.service.samples_served
+            )
         return totals
+
+    def metrics_registry(self, address: Address):
+        """The standard metrics registry for one live daemon.
+
+        Returns :func:`repro.control.metrics.daemon_metrics` for the
+        daemon at ``address`` -- serve it with
+        :class:`~repro.control.metrics.MetricsServer` to scrape a
+        harness-managed daemon like a deployed one.  Imported lazily:
+        :mod:`repro.control` itself imports the net layer.
+        """
+        from repro.control.metrics import daemon_metrics
+
+        daemon = self.daemons.get(address)
+        if daemon is None:
+            raise NodeNotFoundError(address)
+        return daemon_metrics(daemon)
 
     # -- synchronous convenience ------------------------------------------
 

@@ -52,6 +52,8 @@ class DaemonStats:
 
     cycles: int = 0
     """Active-thread wakeups (including ones that found an empty view)."""
+    exchanges_initiated: int = 0
+    """Exchanges actually started (peer selected, request shipped)."""
     exchanges_completed: int = 0
     """Initiated exchanges that ran to completion (reply merged, or push
     sent -- push has no acknowledgement to wait for)."""
@@ -146,15 +148,20 @@ class GossipDaemon:
         # gh-86296), which would leave the task running -- and a bare
         # ``await task`` hanging -- forever.
         self._stop_requested = True
-        if self._task is not None:
-            self._task.cancel()
-            try:
-                await self._task
-            except asyncio.CancelledError:
-                pass
-            self._task = None
-        self.cancel_pending()
-        await self.transport.close()
+        task, self._task = self._task, None  # atomic: concurrent stop()s
+        try:
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        finally:
+            # Cancel in-flight pulls and release the endpoint even if the
+            # gossip task died on an unexpected error: a daemon must never
+            # leave a pending future or an open socket behind its stop().
+            self.cancel_pending()
+            await self.transport.close()
 
     def cancel_pending(self) -> None:
         """Cancel every in-flight pull exchange (synchronous, idempotent)."""
@@ -199,6 +206,7 @@ class GossipDaemon:
         send, exactly where the cycle engine applies them.
         """
         exchange_id = self._allocate_id()
+        self.stats.exchanges_initiated += 1
         payload = encode_message(
             exchange.payload, version=self.network.wire_version
         )

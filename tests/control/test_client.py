@@ -1,0 +1,264 @@
+"""IntroducerClient: join/backoff/heartbeat/leave over loopback."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.config import NetworkConfig, newscast
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import GossipNode
+from repro.control.client import IntroducerClient, JoinError, daemon_stats_snapshot
+from repro.control.seed import SeedService
+from repro.net.daemon import GossipDaemon
+from repro.net.transport import LoopbackNetwork, LoopbackTransport
+
+FAST = NetworkConfig(cycle_seconds=0.01, jitter=0.0, request_timeout=0.1)
+
+
+def make_daemon(network, name, view_size=5):
+    transport = LoopbackTransport(network, name)
+    node = GossipNode(name, newscast(view_size=view_size), random.Random(7))
+    return GossipDaemon(node, transport, FAST, rng=random.Random(7))
+
+
+def make_client(network, daemon, introducers, **kwargs):
+    kwargs.setdefault("rng", random.Random(3))
+    kwargs.setdefault("attempt_timeout", 0.05)
+    kwargs.setdefault("retry_base", 0.01)
+    kwargs.setdefault("retry_cap", 0.05)
+    return IntroducerClient(
+        daemon,
+        introducers,
+        transport=LoopbackTransport(network, f"ctl-{daemon.address}"),
+        **kwargs,
+    )
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+class TestJoin:
+    @pytest.mark.timeout(30)
+    def test_join_adopts_bootstrap_sample(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            await seed.start()
+            for address in ("x:1", "y:2", "z:3"):
+                seed.registry.register(address)
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:0"])
+            await client.start()
+            peers = await client.join()
+            view = list(daemon.node.view)
+            await client.stop()
+            await daemon.stop()
+            await seed.stop()
+            return peers, view, client
+
+        peers, view, client = run(session())
+        assert sorted(peers) == ["x:1", "y:2", "z:3"]
+        assert {d.address for d in view} == {"x:1", "y:2", "z:3"}
+        assert all(d.hop_count == 0 for d in view)
+        assert client.joined
+        assert client.ttl == 5.0
+        assert client.join_attempts == 1
+
+    @pytest.mark.timeout(30)
+    def test_join_succeeds_when_introducer_comes_up_late(self):
+        """Regression: a daemon booted before its seed must still join.
+
+        The introducer is *down* (nothing listens on its address) for the
+        client's first attempts; it comes up only after several backoff
+        rounds.  The join must keep retrying and succeed -- not give up
+        after the first silent datagram.
+        """
+
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:0"])
+            await client.start()
+            join = asyncio.ensure_future(client.join())
+            # Let several attempts fail against the absent seed.
+            while client.join_attempts < 3:
+                await asyncio.sleep(0.005)
+            assert not join.done()
+            # The seed comes up late, on the address the client retries.
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            seed.registry.register("peer:9")
+            await seed.start()
+            peers = await join
+            attempts = client.join_attempts
+            await client.stop()
+            await daemon.stop()
+            await seed.stop()
+            return peers, attempts
+
+        peers, attempts = run(session())
+        assert peers == ["peer:9"]
+        assert attempts >= 3
+
+    @pytest.mark.timeout(30)
+    def test_join_rotates_over_multiple_introducers(self):
+        """With the first introducer dead, the second must serve the join."""
+
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            live = SeedService(LoopbackTransport(network, "seed:up"), ttl=5.0)
+            live.registry.register("peer:1")
+            await live.start()
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:down", "seed:up"])
+            await client.start()
+            peers = await client.join()
+            await client.stop()
+            await daemon.stop()
+            await live.stop()
+            return peers, client.join_attempts
+
+        peers, attempts = run(session())
+        assert peers == ["peer:1"]
+        assert attempts == 2  # one lost datagram, then the live seed
+
+    @pytest.mark.timeout(30)
+    def test_join_max_attempts_raises(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:absent"])
+            await client.start()
+            try:
+                with pytest.raises(JoinError):
+                    await client.join(max_attempts=3)
+                return client.join_attempts
+            finally:
+                await client.stop()
+                await daemon.stop()
+
+        assert run(session()) == 3
+
+    @pytest.mark.timeout(30)
+    def test_rejoin_refreshes_an_already_seeded_view(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            await seed.start()
+            seed.registry.register("fresh:1")
+            daemon = make_daemon(network, "n:1", view_size=2)
+            daemon.service.init(["stale:1", "stale:2"])  # CLI --contact path
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:0"])
+            await client.start()
+            await client.join()
+            view = [d.address for d in daemon.node.view]
+            await client.stop()
+            await daemon.stop()
+            await seed.stop()
+            return view
+
+        view = run(session())
+        # Bootstrap sample lands at the front; capacity keeps one stale.
+        assert view[0] == "fresh:1"
+        assert len(view) == 2
+
+    def test_configuration_validation(self):
+        network = LoopbackNetwork(rng=random.Random(0))
+        daemon = make_daemon(network, "n:1")
+        with pytest.raises(ConfigurationError):
+            make_client(network, daemon, [])
+        with pytest.raises(ConfigurationError):
+            make_client(network, daemon, ["s:1"], retry_base=0.0)
+        with pytest.raises(ConfigurationError):
+            make_client(
+                network, daemon, ["s:1"], retry_base=1.0, retry_cap=0.5
+            )
+        with pytest.raises(ConfigurationError):
+            make_client(network, daemon, ["s:1"], attempt_timeout=0.0)
+
+
+class TestHeartbeats:
+    @pytest.mark.timeout(30)
+    def test_heartbeats_carry_stats_and_keep_the_lease_alive(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            await seed.start()
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(
+                network, daemon, ["seed:0"], heartbeat_interval=0.02
+            )
+            await client.start()
+            await client.join()
+            await asyncio.sleep(0.1)  # several heartbeat periods
+            heartbeats_applied = seed.registry.heartbeats
+            stats = seed.registry.stats_of("n:1")
+            await client.stop()
+            await daemon.stop()
+            await seed.stop()
+            return heartbeats_applied, stats, client.heartbeats_sent
+
+        applied, stats, sent = run(session())
+        assert applied >= 2
+        assert sent >= 2
+        assert stats is not None
+        # The snapshot carries the daemon counters and the service gauges.
+        for key in ("cycles", "timeouts", "peers_served", "view_fill"):
+            assert key in stats
+
+    @pytest.mark.timeout(30)
+    def test_stop_sends_leave(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            await seed.start()
+            daemon = make_daemon(network, "n:1")
+            await daemon.start(run_loop=False)
+            client = make_client(network, daemon, ["seed:0"])
+            await client.start()
+            await client.join()
+            assert "n:1" in seed.registry
+            await client.stop()
+            await asyncio.sleep(0.01)  # let the LEAVE arrive
+            registered = "n:1" in seed.registry
+            await daemon.stop()
+            await seed.stop()
+            return registered, seed.stats.leaves
+
+        registered, leaves = run(session())
+        assert not registered
+        assert leaves == 1
+
+
+class TestStatsSnapshot:
+    @pytest.mark.timeout(30)
+    def test_snapshot_fields(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            a = make_daemon(network, "a:1")
+            b = make_daemon(network, "b:1")
+            a.service.init(["b:1"])
+            b.service.init(["a:1"])
+            await a.start(run_loop=False)
+            await b.start(run_loop=False)
+            await a.run_cycle()
+            a.service.get_peer()
+            snapshot = daemon_stats_snapshot(a)
+            await a.stop()
+            await b.stop()
+            return snapshot
+
+        snapshot = run(session())
+        assert snapshot["cycles"] == 1
+        assert snapshot["exchanges_initiated"] == 1
+        assert snapshot["exchanges_completed"] == 1
+        assert snapshot["peers_served"] == 1
+        assert snapshot["view_fill"] >= 1
+        assert all(isinstance(v, int) for v in snapshot.values())

@@ -1,0 +1,240 @@
+"""MetricsRegistry rendering and the HTTP metrics endpoint."""
+
+import asyncio
+import json
+import random
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import NetworkConfig, newscast
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import GossipNode
+from repro.control.metrics import (
+    MetricsRegistry,
+    MetricsServer,
+    daemon_metrics,
+    seed_metrics,
+)
+from repro.control.seed import SeedService
+from repro.net.daemon import GossipDaemon
+from repro.net.transport import LoopbackNetwork, LoopbackTransport
+
+DAEMON_COUNTERS = (
+    "repro_cycles_total",
+    "repro_exchanges_initiated_total",
+    "repro_exchanges_completed_total",
+    "repro_pull_timeouts_total",
+    "repro_requests_received_total",
+    "repro_replies_received_total",
+    "repro_late_replies_dropped_total",
+    "repro_codec_errors_total",
+    "repro_getpeer_served_total",
+)
+
+
+class TestRegistry:
+    def test_counter_and_gauge_render(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served.", lambda: 7)
+        registry.gauge("queue_depth", "Current depth.", lambda: 3)
+        text = registry.render_text()
+        assert "# HELP requests_total Requests served." in text
+        assert "# TYPE requests_total counter" in text
+        assert "\nrequests_total 7" in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "\nqueue_depth 3" in text
+        assert text.endswith("\n")
+
+    def test_callbacks_are_read_at_scrape_time(self):
+        registry = MetricsRegistry()
+        box = {"value": 1}
+        registry.counter("live_total", "h", lambda: box["value"])
+        assert "live_total 1" in registry.render_text()
+        box["value"] = 99
+        assert "live_total 99" in registry.render_text()
+
+    def test_labels_render_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "hits_total", "h", lambda: 1, labels={"b": 'q"x', "a": "p\n"}
+        )
+        text = registry.render_text()
+        assert 'hits_total{a="p\\n",b="q\\"x"} 1' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "ages", "h", lambda: [0, 1, 1, 3, 9], buckets=(1, 4)
+        )
+        text = registry.render_text()
+        assert 'ages_bucket{le="1"} 3' in text
+        assert 'ages_bucket{le="4"} 4' in text
+        assert 'ages_bucket{le="+Inf"} 5' in text
+        assert "ages_sum 14" in text
+        assert "ages_count 5" in text
+
+    def test_labeled_counter_family(self):
+        registry = MetricsRegistry()
+        registry.labeled_counter(
+            "cluster_total", "h", "counter", lambda: {"cycles": 12, "ok": 9}
+        )
+        text = registry.render_text()
+        assert 'cluster_total{counter="cycles"} 12' in text
+        assert 'cluster_total{counter="ok"} 9' in text
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "h", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x_total", "h", lambda: 1)
+
+    def test_histogram_needs_buckets(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", "h", lambda: [], buckets=())
+
+    def test_render_json(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "h", lambda: 4)
+        registry.histogram("ages", "h", lambda: [1, 5], buckets=(2,))
+        registry.labeled_counter("fam", "h", "k", lambda: {"x": 1})
+        payload = registry.render_json()
+        assert payload["a_total"]["value"] == 4
+        assert payload["ages"]["count"] == 2
+        assert payload["ages"]["sum"] == 6
+        assert payload["ages"]["buckets"] == {"2": 1}
+        assert payload["fam"]["values"] == {"x": 1}
+
+
+def gossip_once():
+    """A two-daemon loopback session with one completed exchange."""
+
+    async def session():
+        network = LoopbackNetwork(rng=random.Random(0))
+        daemons = []
+        for name in ("a", "b"):
+            transport = LoopbackTransport(network, name)
+            node = GossipNode(name, newscast(view_size=5), random.Random(1))
+            daemons.append(
+                GossipDaemon(
+                    node,
+                    transport,
+                    NetworkConfig(
+                        cycle_seconds=0.01, jitter=0.0, request_timeout=0.1
+                    ),
+                )
+            )
+        a, b = daemons
+        a.service.init(["b"])
+        b.service.init(["a"])
+        await a.start(run_loop=False)
+        await b.start(run_loop=False)
+        await a.run_cycle()
+        a.service.get_peer()
+        a._on_datagram(b"garbage", "b")  # one codec error, for the counter
+        await a.stop()
+        await b.stop()
+        return a
+
+    return asyncio.run(asyncio.wait_for(session(), 30.0))
+
+
+class TestDaemonMetrics:
+    @pytest.mark.timeout(30)
+    def test_every_daemon_counter_is_exposed(self):
+        daemon = gossip_once()
+        text = daemon_metrics(daemon).render_text()
+        for name in DAEMON_COUNTERS:
+            assert f"# TYPE {name} counter" in text, name
+        assert "repro_cycles_total 1" in text
+        assert "repro_exchanges_completed_total 1" in text
+        assert "repro_getpeer_served_total 1" in text
+        assert "repro_codec_errors_total 1" in text
+        assert "# TYPE repro_view_size gauge" in text
+        assert "# TYPE repro_view_age_hops histogram" in text
+        assert 'repro_view_age_hops_bucket{le="+Inf"}' in text
+
+
+class TestSeedMetrics:
+    @pytest.mark.timeout(30)
+    def test_cluster_aggregation_family(self):
+        async def session():
+            network = LoopbackNetwork(rng=random.Random(0))
+            seed = SeedService(LoopbackTransport(network, "seed:0"), ttl=5.0)
+            await seed.start()
+            seed.registry.heartbeat("a:1", {"cycles": 3})
+            seed.registry.heartbeat("b:2", {"cycles": 4})
+            text = seed_metrics(seed).render_text()
+            await seed.stop()
+            return text
+
+        text = asyncio.run(asyncio.wait_for(session(), 30.0))
+        assert "repro_seed_live_nodes 2" in text
+        assert 'repro_cluster_daemon_counter_total{counter="cycles"} 7' in text
+        for name in (
+            "repro_seed_joins_total",
+            "repro_seed_samples_sent_total",
+            "repro_seed_heartbeats_total",
+            "repro_seed_leaves_total",
+            "repro_seed_status_queries_total",
+            "repro_seed_invalid_messages_total",
+            "repro_seed_expirations_total",
+            "repro_seed_registrations_total",
+        ):
+            assert f"# TYPE {name} counter" in text, name
+
+
+class TestServer:
+    @pytest.mark.timeout(30)
+    def test_scrape_over_http(self):
+        daemon = gossip_once()
+        server = MetricsServer(daemon_metrics(daemon))
+        port = server.start()
+        try:
+            assert port > 0
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                text = response.read().decode("utf-8")
+            # The acceptance scrape: every daemon counter, over the wire,
+            # in Prometheus text exposition format.
+            for name in DAEMON_COUNTERS:
+                assert f"# TYPE {name} counter" in text, name
+
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics.json", timeout=5
+            ) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            assert payload["repro_cycles_total"]["value"] == 1
+        finally:
+            server.stop()
+
+    @pytest.mark.timeout(30)
+    def test_unknown_path_is_404(self):
+        server = MetricsServer(MetricsRegistry())
+        port = server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope", timeout=5
+                )
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    @pytest.mark.timeout(30)
+    def test_stop_is_idempotent_and_releases_the_port(self):
+        server = MetricsServer(MetricsRegistry())
+        port = server.start()
+        server.stop()
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=1
+            )

@@ -1,0 +1,61 @@
+"""The live-control experiment: seed-only bootstrap must still converge.
+
+This is the tier-1 acceptance test for the control plane: a free-running
+UDP cluster whose daemons start with *empty* views and learn of each
+other exclusively through the seed node must develop the Figure-2-style
+random-overlay properties (connected, near-baseline in-degree fill).
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import EXPERIMENT_IDS
+from repro.experiments.common import SCALES
+from repro.experiments.live_control import LiveControlResult, report, run
+from repro.experiments.runner import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run(scale=SCALES["quick"], seed=1)
+
+
+@pytest.mark.timeout(150)
+class TestLiveControl:
+    def test_converges_from_seed_only_bootstrap(self, result):
+        assert isinstance(result, LiveControlResult)
+        assert result.converged, report(result)
+        final = result.samples[-1]
+        assert final["in_degree_mean"] >= 0.6 * result.view_size
+        assert math.isfinite(final["average_path_length"])
+
+    def test_every_daemon_joined_through_the_seed(self, result):
+        seed = result.seed_snapshot["seed"]
+        assert seed["joins"] == result.nodes
+        assert result.seed_snapshot["live"] == result.nodes
+        assert seed["invalid_messages"] == 0
+        # The first joiner is introduced to nobody: the overlay can only
+        # have grown through the seed, not through pre-wired contacts.
+        assert result.bootstrap_peers[0] == 0
+        assert max(result.bootstrap_peers) >= 1
+
+    def test_observation_series_shape(self, result):
+        assert len(result.samples) == len(result.observed_cycles) >= 12
+        assert result.observed_cycles[0] == 1
+        assert result.baseline["average_path_length"] > 1.0
+
+    def test_report_renders(self, result):
+        text = report(result)
+        assert "seed" in text
+        assert "bootstrap sample sizes" in text
+
+
+def test_registered_with_the_experiment_runner():
+    assert "live-control" in EXPERIMENT_IDS
+
+
+@pytest.mark.timeout(180)
+def test_runner_runs_live_control_quick():
+    text = run_experiment("live-control", scale_name="quick", seed=3)
+    assert "live-control" in text

@@ -1,0 +1,164 @@
+"""SeedRegistry liveness semantics under a fake, hand-advanced clock."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.control.registry import SeedRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return SeedRegistry(ttl=10.0, clock=clock, rng=random.Random(0))
+
+
+class TestLeases:
+    def test_register_and_contains(self, registry):
+        assert registry.register("a:1") is True
+        assert "a:1" in registry
+        assert len(registry) == 1
+
+    def test_reregistration_is_idempotent_and_renews(self, registry, clock):
+        registry.register("a:1")
+        clock.advance(8.0)
+        assert registry.register("a:1") is False  # known, renewed
+        clock.advance(8.0)  # 16s after first register, 8s after renewal
+        assert "a:1" in registry
+        assert len(registry) == 1
+
+    def test_expiry_after_ttl(self, registry, clock):
+        registry.register("a:1")
+        clock.advance(10.0)  # deadline is inclusive: lease <= now expires
+        assert "a:1" not in registry
+        assert registry.expirations == 1
+
+    def test_expire_returns_lapsed_addresses(self, registry, clock):
+        registry.register("a:1")
+        clock.advance(5.0)
+        registry.register("b:2")
+        clock.advance(5.0)
+        assert registry.expire() == ["a:1"]
+        assert registry.live() == ["b:2"]
+
+    def test_heartbeat_renews(self, registry, clock):
+        registry.register("a:1")
+        for _ in range(5):
+            clock.advance(7.0)
+            assert registry.heartbeat("a:1") is True
+        assert "a:1" in registry
+        assert registry.heartbeats == 5
+
+    def test_heartbeat_registers_unknown_sender(self, registry):
+        # Seed-restart recovery: survivors repopulate via heartbeats.
+        assert registry.heartbeat("ghost:9") is False
+        assert "ghost:9" in registry
+
+    def test_deregister(self, registry):
+        registry.register("a:1")
+        assert registry.deregister("a:1") is True
+        assert registry.deregister("a:1") is False
+        assert "a:1" not in registry
+        assert registry.departures == 1
+
+    def test_remaining(self, registry, clock):
+        registry.register("a:1")
+        clock.advance(4.0)
+        assert registry.remaining("a:1") == pytest.approx(6.0)
+        assert registry.remaining("nobody:1") is None
+
+    def test_ttl_must_be_positive(self, clock):
+        with pytest.raises(ConfigurationError):
+            SeedRegistry(ttl=0.0, clock=clock)
+        with pytest.raises(ConfigurationError):
+            SeedRegistry(ttl=-1.0, clock=clock)
+
+
+class TestSampling:
+    def test_sample_is_uniform_without_replacement(self, registry):
+        for i in range(20):
+            registry.register(f"n:{i}")
+        sample = registry.sample(8)
+        assert len(sample) == len(set(sample)) == 8
+        assert all(peer in registry for peer in sample)
+
+    def test_sample_excludes(self, registry):
+        for i in range(5):
+            registry.register(f"n:{i}")
+        for _ in range(20):
+            assert "n:0" not in registry.sample(4, exclude=("n:0",))
+
+    def test_sample_honest_shortfall(self, registry):
+        registry.register("a:1")
+        registry.register("b:2")
+        assert sorted(registry.sample(10)) == ["a:1", "b:2"]
+        assert registry.sample(10, exclude=("a:1", "b:2")) == []
+
+    def test_sample_never_returns_expired(self, registry, clock):
+        registry.register("old:1")
+        clock.advance(10.0)
+        registry.register("new:2")
+        assert registry.sample(5) == ["new:2"]
+
+    def test_sample_deterministic_with_seeded_rng(self, clock):
+        def build():
+            reg = SeedRegistry(ttl=10.0, clock=clock, rng=random.Random(7))
+            for i in range(30):
+                reg.register(f"n:{i}")
+            return reg
+
+        assert build().sample(10) == build().sample(10)
+
+
+class TestStats:
+    def test_stats_stored_and_copied(self, registry):
+        payload = {"cycles": 4}
+        registry.heartbeat("a:1", payload)
+        payload["cycles"] = 99  # caller mutation must not leak in
+        stored = registry.stats_of("a:1")
+        assert stored == {"cycles": 4}
+        stored["cycles"] = 77  # nor out
+        assert registry.stats_of("a:1") == {"cycles": 4}
+
+    def test_totals_sum_latest_snapshots(self, registry):
+        registry.heartbeat("a:1", {"cycles": 2, "timeouts": 1})
+        registry.heartbeat("b:2", {"cycles": 3})
+        registry.heartbeat("a:1", {"cycles": 5, "timeouts": 1})  # replaces
+        assert registry.stats_totals() == {"cycles": 8, "timeouts": 1}
+
+    def test_totals_drop_expired_nodes(self, registry, clock):
+        registry.heartbeat("a:1", {"cycles": 2})
+        clock.advance(10.0)
+        registry.heartbeat("b:2", {"cycles": 3})
+        assert registry.stats_totals() == {"cycles": 3}
+
+    def test_snapshot_shape(self, registry, clock):
+        registry.register("a:1")
+        registry.heartbeat("a:1", {"cycles": 2})
+        clock.advance(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["live"] == 1
+        assert snapshot["ttl"] == 10.0
+        node = snapshot["nodes"]["a:1"]
+        assert node["heartbeats"] == 1
+        assert node["stats"] == {"cycles": 2}
+        assert node["remaining"] == pytest.approx(9.0)
+        assert snapshot["totals"] == {"cycles": 2}
+        assert snapshot["counters"]["registrations"] == 1
+        assert snapshot["counters"]["heartbeats"] == 1

@@ -1,0 +1,285 @@
+"""SeedService endpoint behavior over the deterministic loopback network."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.codec import decode_control, encode_control
+from repro.control.messages import (
+    KIND_HEARTBEAT,
+    KIND_JOIN,
+    KIND_LEAVE,
+    KIND_SAMPLE,
+    KIND_STATUS,
+    KIND_STATUS_REPLY,
+    heartbeat_body,
+    join_body,
+    leave_body,
+    parse_sample,
+)
+from repro.control.seed import SeedService
+from repro.net.transport import LoopbackNetwork, LoopbackTransport
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Probe:
+    """A bare control endpoint that records every received frame."""
+
+    def __init__(self, network, address):
+        self.transport = LoopbackTransport(network, address)
+        self.received = []
+        self.transport.receiver = self._on_datagram
+
+    def _on_datagram(self, data, sender):
+        self.received.append((data, sender))
+
+    async def start(self):
+        await self.transport.start()
+
+    def send(self, destination, data):
+        self.transport.send(destination, data)
+
+    async def wait_frames(self, count, timeout=2.0):
+        deadline = asyncio.get_running_loop().time() + timeout
+        while len(self.received) < count:
+            if asyncio.get_running_loop().time() >= deadline:
+                raise AssertionError(
+                    f"expected {count} frame(s), got {len(self.received)}"
+                )
+            await asyncio.sleep(0.001)
+        return [decode_control(data) for data, _ in self.received]
+
+
+def make_seed(ttl=10.0):
+    network = LoopbackNetwork(rng=random.Random(0))
+    clock = FakeClock()
+    seed = SeedService(
+        LoopbackTransport(network, "seed:0"),
+        ttl=ttl,
+        clock=clock,
+        rng=random.Random(1),
+    )
+    return network, seed, clock
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30.0))
+
+
+class TestJoin:
+    @pytest.mark.timeout(30)
+    def test_join_registers_and_answers_sample(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5), 77)
+            )
+            (frame,) = await probe.wait_frames(1)
+            return seed, frame
+
+        seed, frame = run(session())
+        assert frame.kind == KIND_SAMPLE
+        assert frame.request_id == 77
+        peers, ttl = parse_sample(frame.body)
+        assert peers == []  # first joiner: nobody to introduce
+        assert ttl == 10.0
+        assert "n:1" in seed.registry
+        assert seed.stats.joins == 1
+        assert seed.stats.samples_sent == 1
+
+    @pytest.mark.timeout(30)
+    def test_sample_excludes_the_joiner_itself(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            for i in range(6):
+                probe.send(
+                    "seed:0",
+                    encode_control(KIND_JOIN, join_body(f"n:{i}", 10), i),
+                )
+            frames = await probe.wait_frames(6)
+            return frames
+
+        frames = run(session())
+        for i, frame in enumerate(frames):
+            peers, _ = parse_sample(frame.body)
+            assert f"n:{i}" not in peers
+            # Everybody registered before me is available to be sampled.
+            assert len(peers) == i
+
+    @pytest.mark.timeout(30)
+    def test_rejoin_is_idempotent(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            for request_id in (1, 2):  # lost reply -> the client retries
+                probe.send(
+                    "seed:0",
+                    encode_control(KIND_JOIN, join_body("n:1", 5), request_id),
+                )
+            await probe.wait_frames(2)
+            return seed
+
+        seed = run(session())
+        assert len(seed.registry) == 1
+        assert seed.registry.registrations == 2
+
+
+class TestLiveness:
+    @pytest.mark.timeout(30)
+    def test_heartbeat_renews_and_stores_stats(self):
+        async def session():
+            network, seed, clock = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5))
+            )
+            await probe.wait_frames(1)
+            clock.advance(8.0)
+            probe.send(
+                "seed:0",
+                encode_control(
+                    KIND_HEARTBEAT, heartbeat_body("n:1", {"cycles": 9})
+                ),
+            )
+            await asyncio.sleep(0.01)
+            clock.advance(8.0)  # 16s after join; 8s after heartbeat
+            return seed
+
+        seed = run(session())
+        assert "n:1" in seed.registry
+        assert seed.registry.stats_of("n:1") == {"cycles": 9}
+        assert seed.stats.heartbeats == 1
+
+    @pytest.mark.timeout(30)
+    def test_silence_expires_the_lease(self):
+        async def session():
+            network, seed, clock = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5))
+            )
+            await probe.wait_frames(1)
+            clock.advance(10.0)
+            return seed
+
+        seed = run(session())
+        assert "n:1" not in seed.registry
+        assert seed.registry.expirations == 1
+
+    @pytest.mark.timeout(30)
+    def test_leave_deregisters(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5))
+            )
+            await probe.wait_frames(1)
+            probe.send("seed:0", encode_control(KIND_LEAVE, leave_body("n:1")))
+            await asyncio.sleep(0.01)
+            return seed
+
+        seed = run(session())
+        assert "n:1" not in seed.registry
+        assert seed.stats.leaves == 1
+        assert seed.registry.departures == 1
+
+
+class TestStatus:
+    @pytest.mark.timeout(30)
+    def test_status_reply_carries_snapshot_and_seed_stats(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5))
+            )
+            await probe.wait_frames(1)
+            probe.send("seed:0", encode_control(KIND_STATUS, {}, 123))
+            frames = await probe.wait_frames(2)
+            return frames[1]
+
+        frame = run(session())
+        assert frame.kind == KIND_STATUS_REPLY
+        assert frame.request_id == 123
+        assert frame.body["live"] == 1
+        assert "n:1" in frame.body["nodes"]
+        assert frame.body["seed"]["joins"] == 1
+        assert frame.body["counters"]["registrations"] == 1
+
+    @pytest.mark.timeout(60)
+    def test_huge_status_reply_truncates_node_detail(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            # Fat per-node stats x many nodes: the full snapshot exceeds
+            # the 64 KiB control frame cap by an order of magnitude.
+            fat = {f"counter_{i}": 10**12 + i for i in range(40)}
+            for i in range(300):
+                seed.registry.heartbeat(f"node-{i}.example.net:40000", fat)
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send("seed:0", encode_control(KIND_STATUS, {}, 5))
+            (frame,) = await probe.wait_frames(1)
+            return frame
+
+        frame = run(session())
+        assert frame.kind == KIND_STATUS_REPLY
+        assert frame.body["truncated"] is True
+        assert frame.body["nodes"] == {}
+        assert frame.body["live"] == 300  # the summary still answers
+        assert frame.body["totals"]["counter_0"] == 300 * 10**12
+
+
+class TestRobustness:
+    @pytest.mark.timeout(30)
+    def test_garbage_and_bad_bodies_counted_not_fatal(self):
+        async def session():
+            network, seed, _ = make_seed()
+            await seed.start()
+            probe = Probe(network, "probe:0")
+            await probe.start()
+            probe.send("seed:0", b"\x00\x01garbage")  # undecodable frame
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, {"count": 3})
+            )  # well-framed, body missing the address
+            probe.send("seed:0", encode_control(250, {}))  # unknown kind
+            await asyncio.sleep(0.01)
+            # The endpoint must still serve after all three.
+            probe.send(
+                "seed:0", encode_control(KIND_JOIN, join_body("n:1", 5), 9)
+            )
+            (frame,) = await probe.wait_frames(1)
+            return seed, frame
+
+        seed, frame = run(session())
+        assert seed.stats.invalid_messages == 3
+        assert frame.kind == KIND_SAMPLE
+        assert frame.request_id == 9

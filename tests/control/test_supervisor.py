@@ -1,0 +1,95 @@
+"""ClusterSupervisor: real subprocesses, real UDP, full lifecycle.
+
+These are the heaviest tests in the suite: each one boots a seed process
+plus a handful of ``repro-node`` daemons and drives them through join,
+failure, lease expiry, and restart.  Parameters are kept small (3 daemons,
+short ttl) so a full run stays well under the CI timeout.
+"""
+
+import time
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.control.supervisor import ClusterSupervisor, SupervisorError
+
+
+@pytest.mark.timeout(120)
+def test_cluster_lifecycle():
+    """Boot -> all live -> kill one -> lease expires -> restart -> all live."""
+    with ClusterSupervisor(daemons=3, ttl=2.0, cycle=0.1) as cluster:
+        assert ":" in cluster.seed_address
+
+        cluster.wait_for_live(3, deadline=30.0)
+        snapshot = cluster.status()
+        assert snapshot["live"] == 3
+        assert snapshot["ttl"] == 2.0
+        assert len(snapshot["nodes"]) == 3
+        assert snapshot["seed"]["joins"] >= 3
+
+        killed = cluster.kill(1)
+        assert len(killed) == 1
+        assert cluster.alive_daemons() == 2
+        # The dead daemon stops heartbeating; its lease must lapse.
+        snapshot = cluster.wait_for_live(2, deadline=30.0)
+        assert killed[0] not in snapshot["nodes"]
+
+        respawned = cluster.restart_crashed()
+        assert len(respawned) == 1
+        assert cluster.restarts == 1
+        cluster.wait_for_live(3, deadline=30.0)
+        assert cluster.alive_daemons() == 3
+
+        addresses = cluster.daemon_addresses()
+        assert len(addresses) == 3
+        assert all(":" in address for address in addresses)
+    # Context exit stops everything; a second stop must be a no-op.
+    cluster.stop()
+
+
+@pytest.mark.timeout(120)
+def test_status_aggregates_daemon_counters():
+    with ClusterSupervisor(daemons=3, ttl=3.0, cycle=0.05) as cluster:
+        cluster.wait_for_live(3, deadline=30.0)
+        # Wait until every daemon has heartbeated a stats snapshot with
+        # completed gossip work in it.
+        totals = None
+        for _ in range(100):
+            snapshot = cluster.status()
+            candidate = snapshot.get("totals", {})
+            if candidate.get("cycles", 0) >= 3 and len(snapshot["nodes"]) == 3:
+                totals = candidate
+                break
+            time.sleep(0.2)
+        assert totals is not None, "daemons never reported gossip stats"
+        assert totals["cycles"] >= 3
+        assert "view_fill" in totals
+
+
+@pytest.mark.timeout(60)
+def test_wait_for_live_times_out_honestly():
+    with ClusterSupervisor(daemons=1, ttl=2.0, cycle=0.1) as cluster:
+        cluster.wait_for_live(1, deadline=30.0)
+        with pytest.raises(SupervisorError):
+            cluster.wait_for_live(5, deadline=1.0)
+
+
+@pytest.mark.timeout(60)
+def test_tail_captures_process_output():
+    with ClusterSupervisor(daemons=1, ttl=2.0, cycle=0.1) as cluster:
+        cluster.wait_for_live(1, deadline=30.0)
+        seed_lines = cluster.tail("seed")
+        assert any("repro-seed listening on" in line for line in seed_lines)
+        daemon_lines = cluster.tail("node-1")
+        assert any("repro-node listening on" in line for line in daemon_lines)
+        with pytest.raises(SupervisorError):
+            cluster.tail("nobody")
+
+
+def test_configuration_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSupervisor(daemons=0)
+    with pytest.raises(ConfigurationError):
+        ClusterSupervisor(daemons=2, ttl=0.0)
+    with pytest.raises(ConfigurationError):
+        ClusterSupervisor(daemons=2, cycle=-1.0)

@@ -29,7 +29,9 @@ TINY = Scale(
 
 @pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
 def test_experiment_runs_and_reports(experiment_id):
-    module = importlib.import_module(f"repro.experiments.{experiment_id}")
+    # Experiment ids are user-facing (hyphenated); modules are importable.
+    module_name = experiment_id.replace("-", "_")
+    module = importlib.import_module(f"repro.experiments.{module_name}")
     result = module.run(scale=TINY, seed=1)
     report = module.report(result)
     assert isinstance(report, str)

@@ -1,10 +1,12 @@
 """Unit tests for the networked gossip daemon (over loopback transports)."""
 
 import asyncio
+import gc
 import random
 import threading
+import warnings
 
-from repro.core.codec import V2_MAGIC, WIRE_FORMAT_V2, WIRE_FORMAT_VERSION
+from repro.core.codec import MAX_MESSAGE_BYTES, V2_MAGIC, WIRE_FORMAT_V2, WIRE_FORMAT_VERSION
 from repro.core.config import NetworkConfig, ProtocolConfig, newscast
 from repro.core.descriptor import NodeDescriptor
 from repro.core.protocol import GossipNode
@@ -154,6 +156,31 @@ class TestFailureHandling:
         stats = asyncio.run(scenario())
         assert stats.invalid_messages == 3
 
+    def test_oversized_datagram_is_counted_and_the_loop_survives(self):
+        # A frame over the 1 MiB wire cap must be dropped (counted as a
+        # codec error), and the passive loop must keep answering real
+        # requests afterwards.
+        async def scenario():
+            _, a, b = make_pair()
+            a.service.init([])
+            b.service.init(["a"])
+            await a.start(run_loop=False)
+            await b.start(run_loop=False)
+            oversized = _ENVELOPE.pack(_KIND_REQUEST, 1) + b"x" * (
+                MAX_MESSAGE_BYTES + 1
+            )
+            a._on_datagram(oversized, "b")
+            a._on_datagram(b"\xff" * 64, "b")  # malformed payload
+            completed = await b.run_cycle()  # a must still answer
+            await a.stop()
+            await b.stop()
+            return a.stats, completed
+
+        stats, completed = asyncio.run(scenario())
+        assert stats.invalid_messages == 2
+        assert completed
+        assert stats.requests_received == 1
+
 
 class TestVersionNegotiation:
     def _request_reply(self, wire_version):
@@ -252,3 +279,34 @@ class TestLifecycle:
         assert errors == []
         assert samples
         assert set(samples) <= {"b"}
+
+    def test_shutdown_is_warning_free(self):
+        # Stopping a free-running daemon must tear down its cycle loop and
+        # pending exchange futures for real: no "Task was destroyed but it
+        # is pending!" events through the loop exception handler, and no
+        # asyncio warnings at garbage collection.
+        events = []
+
+        async def scenario():
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: events.append(context)
+            )
+            _, a, b = make_pair()
+            a.service.init(["b"])
+            b.service.init(["a"])
+            await a.start(run_loop=True)
+            await b.start(run_loop=True)
+            await asyncio.sleep(0.1)
+            await a.stop()
+            await b.stop()
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            asyncio.run(scenario())
+            # Destroyed-pending-task complaints fire from Task.__del__:
+            # force collection while the loop's handler is still ours.
+            gc.collect()
+
+        assert events == []
+        leaked = [w for w in caught if "pending" in str(w.message).lower()]
+        assert leaked == []

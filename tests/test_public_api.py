@@ -4,7 +4,7 @@ import repro
 
 
 def test_version():
-    assert repro.__version__ == "1.5.0"
+    assert repro.__version__ == "1.6.0"
 
 
 def test_all_exports_resolve():
@@ -32,6 +32,7 @@ def test_named_protocols_exported():
 
 def test_subpackages_importable():
     import repro.baselines
+    import repro.control
     import repro.core
     import repro.experiments
     import repro.extensions
@@ -39,6 +40,9 @@ def test_subpackages_importable():
     import repro.simulation
     import repro.stats
     import repro.workloads
+
+    assert repro.control.SeedService is not None
+    assert repro.control.IntroducerClient is not None
 
     assert repro.graph.GraphSnapshot is not None
     assert repro.stats.autocorrelation is not None
