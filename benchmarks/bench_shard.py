@@ -1,0 +1,186 @@
+"""Sharded single-run execution: identity contract and wall clock.
+
+Three claims about :class:`~repro.simulation.sharded.ShardedCycleEngine`
+are demonstrated:
+
+1. **identity** (asserted everywhere): at small N a K-sharded run --
+   shared-memory workers, batched cross-shard exchanges -- produces
+   byte-identical views and exchange counters to the in-process serial
+   run of the same seed, including through a 40% crash;
+2. **speedup** (asserted on capable boxes): with ``REPRO_SCALE=full``
+   (N = 10^5) on a 4+-core machine, K >= 4 shards run a cycle >= 2x
+   faster than the serial kernel.  On smaller boxes the ratio is
+   recorded but not asserted -- on one core the barrier and message
+   traffic are pure overhead, which is exactly why ``--shards`` is
+   opt-in;
+3. **scale headline** (full scale, or ``REPRO_BENCH_HEADLINE=1``): a
+   N = 10^6 run under churn completes at seconds-per-cycle, the regime
+   the shard plumbing exists for.
+
+Machine-readable results land in ``benchmarks/out/BENCH_shard.json``
+(uploaded by the CI ``shard`` job): cpu count, shard count, ms/cycle
+serial vs sharded, the identity verdict, and the headline run's
+seconds-per-cycle figures.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.core.config import ProtocolConfig
+from repro.experiments.reporting import format_table
+from repro.simulation.scenarios import random_bootstrap
+from repro.simulation.sharded import ShardedCycleEngine
+
+SPEEDUP_FLOOR = 2.0
+"""Required sharded speedup at full scale on a 4+-core box."""
+
+IDENTITY_NODES = 400
+IDENTITY_CYCLES = 10
+IDENTITY_CRASHES = 160
+IDENTITY_HEAL = 6
+
+TIMING_NODES = {"quick": 20_000, "default": 50_000, "full": 100_000}
+TIMING_CYCLES = 3
+WARM_CYCLES = 2
+
+HEADLINE_NODES = 1_000_000
+HEADLINE_CRASH_FRACTION = 0.3
+
+CONFIG = ProtocolConfig.from_label("(rand,head,pushpull)", 30).replace(
+    healer=1, swapper=1
+)
+
+
+def _fingerprint(engine):
+    return {
+        address: tuple((d.address, d.hop_count) for d in entries)
+        for address, entries in engine.views().items()
+    }
+
+
+def _identity_run(shards):
+    engine = ShardedCycleEngine(CONFIG, seed=11, shards=shards)
+    try:
+        random_bootstrap(engine, IDENTITY_NODES)
+        engine.run(IDENTITY_CYCLES)
+        engine.crash_random_nodes(IDENTITY_CRASHES)
+        engine.run(IDENTITY_HEAL)
+        return (
+            _fingerprint(engine),
+            engine.completed_exchanges,
+            engine.failed_exchanges,
+        )
+    finally:
+        engine.close()
+
+
+def _timed_cycles(n_nodes, shards, cycles=TIMING_CYCLES):
+    engine = ShardedCycleEngine(CONFIG, seed=11, shards=shards)
+    try:
+        random_bootstrap(engine, n_nodes)
+        engine.run(WARM_CYCLES)  # spawn workers / map segments off-clock
+        started = time.perf_counter()
+        engine.run(cycles)
+        return (time.perf_counter() - started) / cycles
+    finally:
+        engine.close()
+
+
+def _headline_run():
+    """N = 10^6 under churn: seconds per cycle, steady and crashed."""
+    engine = ShardedCycleEngine(CONFIG, seed=11, shards=1)
+    try:
+        started = time.perf_counter()
+        random_bootstrap(engine, HEADLINE_NODES)
+        bootstrap_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        engine.run(2)
+        steady = (time.perf_counter() - started) / 2
+        engine.crash_random_nodes(
+            int(HEADLINE_NODES * HEADLINE_CRASH_FRACTION)
+        )
+        started = time.perf_counter()
+        engine.run(2)
+        churn = (time.perf_counter() - started) / 2
+        return {
+            "n_nodes": HEADLINE_NODES,
+            "bootstrap_seconds": bootstrap_seconds,
+            "steady_seconds_per_cycle": steady,
+            "churn_seconds_per_cycle": churn,
+            "crashed_nodes": int(HEADLINE_NODES * HEADLINE_CRASH_FRACTION),
+            "completed_exchanges": engine.completed_exchanges,
+            "completed": True,
+        }
+    finally:
+        engine.close()
+
+
+def test_sharded_identity_and_speedup(scale):
+    cpu_count = os.cpu_count() or 1
+    shards = max(2, min(cpu_count, 8))
+
+    serial_result = _identity_run(shards=1)
+    sharded_result = _identity_run(shards=shards)
+    identical = serial_result == sharded_result
+
+    n_nodes = TIMING_NODES.get(scale.name, TIMING_NODES["quick"])
+    serial_cycle = _timed_cycles(n_nodes, shards=1)
+    sharded_cycle = _timed_cycles(n_nodes, shards=shards)
+    speedup = serial_cycle / sharded_cycle if sharded_cycle else 0.0
+
+    headline = None
+    if scale.name == "full" or os.environ.get("REPRO_BENCH_HEADLINE"):
+        headline = _headline_run()
+
+    rows = [
+        ["serial", 1, n_nodes, round(serial_cycle * 1000, 1)],
+        ["sharded", shards, n_nodes, round(sharded_cycle * 1000, 1)],
+    ]
+    if headline:
+        rows.append(
+            [
+                "headline",
+                1,
+                headline["n_nodes"],
+                round(headline["churn_seconds_per_cycle"] * 1000, 1),
+            ]
+        )
+    report = format_table(
+        ["mode", "shards", "nodes", "ms/cycle"],
+        rows,
+        title=(
+            f"single-run sharding (scale={scale.name}, {cpu_count} cores, "
+            f"speedup {speedup:.2f}x, identical={identical})"
+        ),
+    )
+    emit_report("bench_shard", report)
+    emit_json(
+        "shard",
+        {
+            "scale": scale.name,
+            "cpu_count": cpu_count,
+            "shards": shards,
+            "accelerated": not os.environ.get("REPRO_NO_ACCEL"),
+            "identity_nodes": IDENTITY_NODES,
+            "identical": identical,
+            "timing_nodes": n_nodes,
+            "serial_seconds_per_cycle": serial_cycle,
+            "sharded_seconds_per_cycle": sharded_cycle,
+            "speedup": speedup,
+            "headline": headline,
+        },
+    )
+
+    # The whole point of sharded execution: trustworthy == identical.
+    assert identical, "sharded run drifted from the serial kernel"
+    if headline:
+        assert headline["completed"]
+        assert headline["completed_exchanges"] > 0
+    if scale.name == "full" and cpu_count >= 4:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"sharded cycle only {speedup:.2f}x faster than serial "
+            f"({serial_cycle * 1000:.0f}ms vs {sharded_cycle * 1000:.0f}ms "
+            f"per cycle) with {shards} shards on {cpu_count} cores; "
+            f"expected >= {SPEEDUP_FLOOR}x"
+        )

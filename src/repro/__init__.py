@@ -72,6 +72,7 @@ from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
 from repro.simulation.fast_event import FastEventEngine
+from repro.simulation.sharded import ShardedCycleEngine
 from repro.workloads import (
     ExperimentPlan,
     ScenarioSpec,
@@ -80,7 +81,7 @@ from repro.workloads import (
     run_plans,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -98,6 +99,7 @@ __all__ = [
     "Propagation",
     "ProtocolConfig",
     "ScenarioSpec",
+    "ShardedCycleEngine",
     "lpbcast",
     "newscast",
     "prepare_run",

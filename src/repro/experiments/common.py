@@ -24,6 +24,11 @@ from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
 from repro.simulation.fast_event import FastEventEngine
+from repro.simulation.sharded import (
+    SHARDS_ENV_VAR,
+    ShardedCycleEngine,
+    resolve_shards,
+)
 from repro.simulation.network import (
     BernoulliLoss,
     ConstantLatency,
@@ -46,6 +51,9 @@ LOSS_ENV_VAR = "REPRO_LOSS"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 """Worker-process count for parallel plan execution (0 = one per core)."""
 
+# SHARDS_ENV_VAR ("REPRO_SHARDS") is defined next to the sharded engine
+# and re-exported here: shard count for `fast-sharded` (0 = one per core).
+
 
 ENGINES: Dict[str, Type[BaseEngine]] = {
     "cycle": CycleEngine,
@@ -53,6 +61,7 @@ ENGINES: Dict[str, Type[BaseEngine]] = {
     "live": LiveEngine,
     "event": EventEngine,
     "fast-event": FastEventEngine,
+    "fast-sharded": ShardedCycleEngine,
 }
 """Engines selectable by name.  ``cycle`` is the object-per-node reference
 implementation; ``fast`` is the array-backed engine (byte-identical results
@@ -63,10 +72,18 @@ and ``fast-event`` run the asynchronous timer/latency/loss model --
 byte-identical to *each other* for the same seed, with ``fast-event``
 sustaining 10^4..10^5 nodes over the flat-array kernel.  The cycle family
 and the event family are statistically comparable but follow different
-execution models, so their overlays are not byte-equal across families."""
+execution models, so their overlays are not byte-equal across families.
+``fast-sharded`` is a third execution family -- deterministic synchronous
+BSP rounds over the same flat-array kernel, optionally partitioned across
+``--shards`` worker processes through shared memory; its results are
+identical for every shard count and backend, which is what makes one run
+scalable toward N = 10^6 (see :mod:`repro.simulation.sharded`)."""
 
 EVENT_ENGINE_NAMES = frozenset({"event", "fast-event"})
 """Registry names whose engines model per-message latency and loss."""
+
+SHARDED_ENGINE_NAMES = frozenset({"fast-sharded"})
+"""Registry names whose engines accept the ``shards`` knob."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -269,6 +286,12 @@ def resolve_workers(
             scale.default_workers or (os.cpu_count() or 1)
             for scale in scales
         )
+        if (os.cpu_count() or 1) == 1:
+            # A scale-defaulted pool on a single core is pure overhead
+            # (BENCH_run_plan records a 0.5x loss); fall back to the
+            # in-process serial path.  An explicit `workers` argument or
+            # $REPRO_WORKERS still wins -- the user asked for a pool.
+            workers = 1
     if workers is None:
         workers = 1
     if (
@@ -369,6 +392,7 @@ def make_engine(
     scale: Optional[Scale] = None,
     latency: Optional[Union[float, LatencyModel]] = None,
     loss: Optional[Union[float, LossModel]] = None,
+    shards: Optional[int] = None,
     **kwargs: object,
 ) -> BaseEngine:
     """Instantiate the engine selected by ``engine`` / ``$REPRO_ENGINE``.
@@ -385,10 +409,25 @@ def make_engine(
     forwarded to the event-driven engines.  The cycle family has no
     message timing model, so selecting them together with a cycle
     engine is a configuration error, not a silent no-op.
+
+    ``shards`` (or ``$REPRO_SHARDS``; 0 = one per core) partitions a
+    single run across worker processes and only applies to the
+    ``fast-sharded`` engine -- requesting it with any other engine is
+    likewise a configuration error, not a silent no-op.
     """
     name = resolve_engine_name(
         engine, default=scale.default_engine if scale else None
     )
+    resolved_shards = resolve_shards(shards)
+    if resolved_shards is not None:
+        if name not in SHARDED_ENGINE_NAMES:
+            raise ConfigurationError(
+                f"shards only applies to the sharded engine "
+                f"({sorted(SHARDED_ENGINE_NAMES)}); engine {name!r} runs "
+                "single-process -- pick --engine fast-sharded or drop the "
+                "option"
+            )
+        kwargs["shards"] = resolved_shards
     latency_model, loss_model = resolve_message_models(latency, loss)
     if latency_model is not None or loss_model is not None:
         if name not in EVENT_ENGINE_NAMES:

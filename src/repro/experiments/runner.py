@@ -59,10 +59,13 @@ from repro.experiments.common import (
     LATENCY_ENV_VAR,
     LOSS_ENV_VAR,
     SCALES,
+    SHARDED_ENGINE_NAMES,
+    SHARDS_ENV_VAR,
     WORKERS_ENV_VAR,
     current_scale,
     resolve_engine_name,
     resolve_message_models,
+    resolve_shards,
     resolve_workers,
 )
 
@@ -89,15 +92,17 @@ def run_experiment(
     latency: Optional[float] = None,
     loss: Optional[float] = None,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> str:
     """Run one experiment and return its text report.
 
     ``engine`` selects the simulation engine for every helper that honors
     ``$REPRO_ENGINE`` (see :mod:`repro.experiments.common`); ``latency``,
-    ``loss`` and ``workers`` are forwarded the same way
-    (``$REPRO_LATENCY`` / ``$REPRO_LOSS`` / ``$REPRO_WORKERS``) --
-    latency/loss only apply to event-driven engines, ``workers`` to the
-    artefacts that execute multi-cell plans.
+    ``loss``, ``workers`` and ``shards`` are forwarded the same way
+    (``$REPRO_LATENCY`` / ``$REPRO_LOSS`` / ``$REPRO_WORKERS`` /
+    ``$REPRO_SHARDS``) -- latency/loss only apply to event-driven
+    engines, ``workers`` to the artefacts that execute multi-cell plans,
+    ``shards`` to the ``fast-sharded`` engine.
     """
     # Experiment ids are user-facing (hyphenated); modules are importable.
     module_name = experiment_id.replace("-", "_")
@@ -108,6 +113,7 @@ def run_experiment(
         (LATENCY_ENV_VAR, None if latency is None else repr(latency)),
         (LOSS_ENV_VAR, None if loss is None else repr(loss)),
         (WORKERS_ENV_VAR, None if workers is None else str(workers)),
+        (SHARDS_ENV_VAR, None if shards is None else str(shards)),
     ]
     previous = {var: os.environ.get(var) for var, _ in overrides}
     for var, value in overrides:
@@ -171,9 +177,11 @@ def _cmd_run_spec(
     seeds: Optional[List[int]],
     protocols: Optional[List[str]],
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> int:
     import dataclasses
     import json
+    import os
 
     from repro.experiments.reporting import format_table
     from repro.workloads import ExperimentPlan, ScenarioSpec, run_plan
@@ -218,6 +226,23 @@ def _cmd_run_spec(
         from repro.workloads.plan import effective_workers
 
         resolved_workers = effective_workers([plan], workers)
+        resolved_shards = resolve_shards(shards)
+        if resolved_shards is not None:
+            bad_engines = [
+                name
+                for name in plan.engines
+                if name not in SHARDED_ENGINE_NAMES
+            ]
+            if bad_engines:
+                knob = (
+                    "--shards" if shards is not None else f"${SHARDS_ENV_VAR}"
+                )
+                raise ConfigurationError(
+                    f"{knob} only applies to the sharded engine "
+                    f"({', '.join(sorted(SHARDED_ENGINE_NAMES))}); the plan "
+                    f"resolves engine(s) {bad_engines!r} -- add --engine "
+                    "fast-sharded or drop the option"
+                )
     except (ConfigurationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -228,6 +253,12 @@ def _cmd_run_spec(
         f"= {plan.total_runs} run(s) on {resolved_workers} worker(s)"
     )
     started = time.perf_counter()
+    # The shard count travels to the plan cells (and any pool workers)
+    # the same way every other knob does: through its environment
+    # variable, restored afterwards.
+    previous_shards = os.environ.get(SHARDS_ENV_VAR)
+    if resolved_shards is not None:
+        os.environ[SHARDS_ENV_VAR] = str(resolved_shards)
     try:
         result = run_plan(
             plan,
@@ -249,6 +280,12 @@ def _cmd_run_spec(
     except PlanExecutionError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if resolved_shards is not None:
+            if previous_shards is None:
+                os.environ.pop(SHARDS_ENV_VAR, None)
+            else:
+                os.environ[SHARDS_ENV_VAR] = previous_shards
     elapsed = time.perf_counter() - started
     headers = [
         "scenario", "protocol", "engine", "scale", "seed",
@@ -280,6 +317,7 @@ def _cmd_run(
     latency: Optional[float] = None,
     loss: Optional[float] = None,
     workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> int:
     if ids == ["all"]:
         ids = list(EXPERIMENT_IDS)
@@ -303,6 +341,7 @@ def _cmd_run(
         )
         latency_model, loss_model = resolve_message_models(latency, loss)
         resolve_workers(workers, scales=(scale,))
+        resolved_shards = resolve_shards(shards)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -325,10 +364,24 @@ def _cmd_run(
             file=sys.stderr,
         )
         return 2
+    if (
+        resolved_shards is not None
+        and effective_engine not in SHARDED_ENGINE_NAMES
+    ):
+        knob = "--shards" if shards is not None else f"${SHARDS_ENV_VAR}"
+        print(
+            f"error: {knob} only applies to the sharded engine "
+            f"({', '.join(sorted(SHARDED_ENGINE_NAMES))}); engine "
+            f"{effective_engine!r} runs single-process -- add --engine "
+            "fast-sharded or drop the option",
+            file=sys.stderr,
+        )
+        return 2
     for experiment_id in ids:
         started = time.perf_counter()
         report = run_experiment(
-            experiment_id, scale_name, seed, engine, latency, loss, workers
+            experiment_id, scale_name, seed, engine, latency, loss, workers,
+            shards,
         )
         elapsed = time.perf_counter() - started
         print(report)
@@ -405,6 +458,15 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_WORKERS, then the scale preset -- 'full' parallelizes "
         "automatically); results are byte-identical to serial execution",
     )
+    spec_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard processes within each single run (0 = one per core; "
+        "also $REPRO_SHARDS); fast-sharded engine only -- results are "
+        "identical at any shard count",
+    )
     run_parser = subparsers.add_parser("run", help="run experiments")
     run_parser.add_argument(
         "ids",
@@ -453,6 +515,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = one per core; also $REPRO_WORKERS); byte-identical results "
         "at any worker count",
     )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="shard processes within each single run (0 = one per core; "
+        "also $REPRO_SHARDS); fast-sharded engine only -- results are "
+        "identical at any shard count",
+    )
     return parser
 
 
@@ -472,6 +543,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.seed,
             args.protocol,
             args.workers,
+            args.shards,
         )
     return _cmd_run(
         args.ids,
@@ -481,6 +553,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.latency,
         args.loss,
         args.workers,
+        args.shards,
     )
 
 

@@ -19,12 +19,19 @@ populations: :class:`~repro.simulation.fast.FastCycleEngine` is
 byte-compatible with :class:`CycleEngine` given the same seed, and
 :class:`~repro.simulation.fast_event.FastEventEngine` is byte-compatible
 with :class:`EventEngine` -- both optionally through a compiled C core.
+
+A third execution family scales a *single* run across cores:
+:class:`~repro.simulation.sharded.ShardedCycleEngine` runs deterministic
+synchronous BSP rounds over the same kernel, optionally partitioned
+across shard processes through shared memory, with results identical for
+every shard count (see :mod:`repro.simulation.sharded`).
 """
 
 from repro.simulation.engine import CycleEngine
 from repro.simulation.event_engine import EventEngine
 from repro.simulation.fast import FastCycleEngine
 from repro.simulation.fast_event import FastEventEngine
+from repro.simulation.sharded import ShardedCycleEngine
 from repro.simulation.network import (
     BernoulliLoss,
     ConstantLatency,
@@ -52,5 +59,6 @@ __all__ = [
     "MetricsRecorder",
     "NoLoss",
     "Observer",
+    "ShardedCycleEngine",
     "UniformLatency",
 ]

@@ -146,6 +146,14 @@ static unsigned char *s_bown;                    /* own-origin flags  */
 static int64_t *s_order, *s_picked, *s_pool, *s_cand;
 static int64_t g_scratch_c = -1;
 
+/* Sharded-round keyed-RNG dispatch (see the fs_* section below): while
+   g_fs_keyed is set, merge truncation draws come from the stateless
+   counter stream under g_fs_key instead of the resident MT19937. */
+static uint64_t g_fs_key;
+static int g_fs_keyed = 0;
+static void fs_sample(uint64_t key, int64_t m, int64_t k,
+                      int64_t *result, int64_t *pool);
+
 void fc_setup(int64_t *vids, int64_t *vhops, int64_t *vlen, int64_t *rowof,
               unsigned char *alive, int64_t c, int64_t healer,
               int64_t swapper, int keepself, int push, int pull,
@@ -244,7 +252,8 @@ static void merge_into(int64_t t, const int64_t *rids, const int64_t *rhops,
             m = c;
         } else {                             /* rand */
             int64_t *chosen = s_pool;        /* reused after sampling */
-            sample_range(m, c, s_picked, s_pool);
+            if (g_fs_keyed) fs_sample(g_fs_key, m, c, s_picked, s_pool);
+            else sample_range(m, c, s_picked, s_pool);
             for (j = 0; j < c; j++) chosen[j] = order[s_picked[j]];
             /* stable re-sort by hop count keeps the sample order on ties,
                like select_rand's chosen.sort(key=hop_count). */
@@ -616,6 +625,184 @@ int64_t fc_event_run(int64_t end_tick, int64_t boundary_tick,
     }
 }
 
+/* ------------------------------------------------------------------ */
+/* Sharded synchronous rounds (engine "fast-sharded"): stateless       */
+/* splitmix64 counter RNG plus the BSP phase kernels.  Unlike the      */
+/* MT19937 paths above, every draw is a pure function of               */
+/* (phase_seed, purpose, round, node, source, counter), so any shard   */
+/* -- in any process, in any order -- reproduces exactly the same      */
+/* exchanges: results depend on the seed, never on the shard count.    */
+/* The pure-Python fallback in repro.simulation.sharded implements     */
+/* the identical derivation chain; the differential suite pins the     */
+/* two backends together.                                              */
+/* ------------------------------------------------------------------ */
+
+#define FS_SELECT 1
+#define FS_REQ 2
+#define FS_REP 3
+
+static uint64_t fs_sm64(uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+static uint64_t fs_key(uint64_t seed, uint64_t purpose, uint64_t rnd,
+                       uint64_t a, uint64_t b) {
+    uint64_t k = fs_sm64(seed + purpose);
+    k = fs_sm64(k + rnd);
+    k = fs_sm64(k + a);
+    return fs_sm64(k + b);
+}
+
+/* Draw t of the stream under `key`, reduced mod n. */
+static int64_t fs_below(uint64_t key, uint64_t t, int64_t n) {
+    return (int64_t)(fs_sm64(key + 1 + t) % (uint64_t)n);
+}
+
+/* Keyed counterpart of sample_range: the same pool algorithm, fed by
+   the counter stream instead of MT19937. */
+static void fs_sample(uint64_t key, int64_t m, int64_t k,
+                      int64_t *result, int64_t *pool) {
+    int64_t i, j;
+    for (i = 0; i < m; i++) pool[i] = i;
+    for (i = 0; i < k; i++) {
+        j = fs_below(key, (uint64_t)i, m - i);
+        result[i] = pool[j];
+        pool[j] = pool[m - i - 1];
+    }
+}
+
+/* Message record layout, stride 2*(c+1) + 3 int64 apiece:
+   [src, dst, npay, ids[c+1], hops[c+1]]; payload hop counts are stored
+   with the receiver-side increaseHopCount already applied. */
+
+/* Phase 1 (active threads, request half) for the ids of one shard:
+   age the view, select the peer via the keyed stream, emit one request
+   record per initiating node into `outbox`.  Returns the record count. */
+int64_t fs_request_phase(uint64_t seed, uint64_t rnd,
+                         int64_t shard, int64_t nshards, int64_t n_ids,
+                         int64_t *outbox) {
+    int64_t stride = 2 * (g_c + 1) + 3;
+    int64_t w = 0, i, k;
+    for (i = shard; i < n_ids; i += nshards) {
+        int64_t row, base, ln, p = -1, *msg, npay = 0;
+        if (!g_alive[i]) continue;
+        row = g_rowof[i];
+        base = row * g_c;
+        ln = g_vlen[row];
+        if (!ln) continue;
+        for (k = 0; k < ln; k++) g_vhops[base + k]++;
+        if (g_omniscient) {
+            int64_t nc = 0;
+            for (k = 0; k < ln; k++) {
+                int64_t a = g_vids[base + k];
+                if (g_alive[a]) s_cand[nc++] = a;
+            }
+            if (!nc) continue;
+            if (g_ps == 0)
+                p = s_cand[fs_below(
+                    fs_key(seed, FS_SELECT, rnd, (uint64_t)i, 0), 0, nc)];
+            else if (g_ps == 1) p = s_cand[0];
+            else p = s_cand[nc - 1];
+        } else {
+            if (g_ps == 0)
+                p = g_vids[base + fs_below(
+                    fs_key(seed, FS_SELECT, rnd, (uint64_t)i, 0), 0, ln)];
+            else if (g_ps == 1) p = g_vids[base];
+            else p = g_vids[base + ln - 1];
+        }
+        msg = outbox + w * stride;
+        msg[0] = i; msg[1] = p;
+        if (g_push) {
+            msg[3] = i; msg[3 + g_c + 1] = 1;
+            for (k = 0; k < ln; k++) {
+                msg[4 + k] = g_vids[base + k];
+                msg[4 + g_c + 1 + k] = g_vhops[base + k] + 1;
+            }
+            npay = ln + 1;
+        }
+        msg[2] = npay;
+        w++;
+    }
+    return w;
+}
+
+typedef struct { int64_t dst, src; int64_t *msg; } fs_ref;
+
+static int fs_cmp(const void *x, const void *y) {
+    const fs_ref *a = (const fs_ref *)x, *b = (const fs_ref *)y;
+    if (a->dst != b->dst) return a->dst < b->dst ? -1 : 1;
+    if (a->src != b->src) return a->src < b->src ? -1 : 1;
+    return 0;
+}
+
+/* Phases 2 and 3: deliver every record whose destination belongs to
+   this shard, in canonical (dst, src) order -- each source sends at
+   most one request (and receives at most one reply) per round, so the
+   order is total and identical however the records were boxed.  For
+   requests under pull (`do_reply`), the reply snapshot is built BEFORE
+   the merge, exactly like the passive thread of Figure 1; an empty
+   payload (pull-only request) skips the merge.  `box_addrs` carries
+   the outbox base addresses as int64 (the boxes may live in shared
+   memory segments mapped at different addresses per process).
+   out = {completed, failed, nreplies}. */
+void fs_deliver(uint64_t seed, uint64_t rnd, int64_t is_request,
+                int64_t shard, int64_t nshards,
+                int64_t *box_addrs, int64_t *box_counts, int64_t nboxes,
+                int64_t do_reply, int64_t *reply_box, int64_t *out) {
+    int64_t stride = 2 * (g_c + 1) + 3;
+    int64_t total = 0, nsel = 0, b, k;
+    int64_t completed = 0, failed = 0, nreply = 0;
+    fs_ref *refs;
+    for (b = 0; b < nboxes; b++) total += box_counts[b];
+    refs = malloc((size_t)(total ? total : 1) * sizeof(fs_ref));
+    for (b = 0; b < nboxes; b++) {
+        int64_t *box = (int64_t *)(intptr_t)box_addrs[b];
+        for (k = 0; k < box_counts[b]; k++) {
+            int64_t *msg = box + k * stride;
+            if (msg[1] % nshards == shard) {
+                refs[nsel].dst = msg[1];
+                refs[nsel].src = msg[0];
+                refs[nsel].msg = msg;
+                nsel++;
+            }
+        }
+    }
+    qsort(refs, (size_t)nsel, sizeof(fs_ref), fs_cmp);
+    for (k = 0; k < nsel; k++) {
+        int64_t dst = refs[k].dst, src = refs[k].src;
+        int64_t *msg = refs[k].msg;
+        int64_t npay = msg[2], j;
+        if (!g_alive[dst]) {
+            if (is_request) failed++;
+            continue;
+        }
+        if (do_reply) {
+            int64_t row = g_rowof[dst], rb = row * g_c, rln = g_vlen[row];
+            int64_t *rep = reply_box + nreply * stride;
+            rep[0] = dst; rep[1] = src; rep[2] = rln + 1;
+            rep[3] = dst; rep[3 + g_c + 1] = 1;
+            for (j = 0; j < rln; j++) {
+                rep[4 + j] = g_vids[rb + j];
+                rep[4 + g_c + 1 + j] = g_vhops[rb + j] + 1;
+            }
+            nreply++;
+        }
+        if (npay) {
+            g_fs_key = fs_key(seed, is_request ? FS_REQ : FS_REP, rnd,
+                              (uint64_t)dst, (uint64_t)src);
+            g_fs_keyed = 1;
+            merge_into(dst, msg + 3, msg + 3 + g_c + 1, npay);
+            g_fs_keyed = 0;
+        }
+        if (is_request) completed++;
+    }
+    free(refs);
+    out[0] = completed; out[1] = failed; out[2] = nreply;
+}
+
 /* One full cycle.  order: live ids in insertion order (shuffled in place
    when enabled); rstate: the 625-word Mersenne Twister state from
    Random.getstate(), mutated in place; out: {completed, failed}. */
@@ -755,6 +942,21 @@ class Accelerator:
             _I64P, _I64P,                              # counters, top_tick
         ]
         lib.fc_event_run.restype = ctypes.c_int64
+        lib.fs_request_phase.argtypes = [
+            ctypes.c_uint64, ctypes.c_uint64,          # phase seed, round
+            ctypes.c_int64, ctypes.c_int64,            # shard, nshards
+            ctypes.c_int64, _I64P,                     # n_ids, outbox
+        ]
+        lib.fs_request_phase.restype = ctypes.c_int64
+        lib.fs_deliver.argtypes = [
+            ctypes.c_uint64, ctypes.c_uint64,          # phase seed, round
+            ctypes.c_int64,                            # is_request
+            ctypes.c_int64, ctypes.c_int64,            # shard, nshards
+            _I64P, _I64P, ctypes.c_int64,              # box addrs/counts/n
+            ctypes.c_int64, _I64P,                     # do_reply, reply_box
+            _I64P,                                     # out
+        ]
+        lib.fs_deliver.restype = None
         self.setup = lib.fc_setup
         self.run_cycle = lib.fc_run_cycle
         self.bootstrap = lib.fc_bootstrap
@@ -767,6 +969,8 @@ class Accelerator:
         self.event_deliver = lib.fc_event_deliver
         self.heap_push = lib.fc_heap_push
         self.event_run = lib.fc_event_run
+        self.shard_request = lib.fs_request_phase
+        self.shard_deliver = lib.fs_deliver
 
     @staticmethod
     def pointer(buffer_address: int) -> "ctypes.POINTER(ctypes.c_int64)":
@@ -852,17 +1056,59 @@ def _build() -> Optional[str]:
 
 _cached: Optional[Accelerator] = None
 _attempted = False
+_private_count = 0
 
 
-def load_accelerator() -> Optional[Accelerator]:
+def _load_private() -> Optional[Accelerator]:
+    """A fresh accelerator instance with its *own* C globals.
+
+    ``dlopen`` deduplicates by file identity, so loading the cached
+    library twice would hand back the same globals.  Copying the ``.so``
+    to a unique path first yields an independent instance; the copy is
+    unlinked immediately after loading (the mapping stays valid), so
+    nothing litters the cache directory.  Each private instance carries
+    its own MT19937 state, engine context and scratch buffers -- two
+    engines bound to two private instances can therefore run their C hot
+    loops *concurrently* from different threads: ctypes releases the GIL
+    for the duration of every call.
+    """
+    global _private_count
+    path = _build()
+    if path is None:
+        return None
+    _private_count += 1
+    clone = f"{path}.private.{os.getpid()}.{_private_count}"
+    try:
+        shutil.copy(path, clone)
+        try:
+            return Accelerator(ctypes.CDLL(clone))
+        finally:
+            try:
+                os.unlink(clone)
+            except OSError:
+                pass
+    except OSError:
+        return None
+
+
+def load_accelerator(private: bool = False) -> Optional[Accelerator]:
     """The process-wide accelerator, or ``None`` when unavailable.
 
     Compilation is attempted at most once per process; failures (no
     compiler, sandboxed tmp, ...) silently disable acceleration.
+
+    ``private=True`` returns a *new* instance whose C state is not
+    shared with the process-wide one (or with any other private
+    instance) -- see :func:`_load_private`; callers own its lifetime.
     """
     global _cached, _attempted
     if os.environ.get(DISABLE_ENV_VAR):
         return None
+    if private:
+        try:
+            return _load_private()
+        except OSError:
+            return None
     if _attempted:
         return _cached
     _attempted = True

@@ -335,6 +335,14 @@ class FlatArrayEngine(BaseEngine):
         core.  ``True``: require it (raises
         :class:`~repro.core.errors.ConfigurationError` when no C compiler
         is usable).  Both backends produce byte-identical results.
+    accelerator:
+        An explicit :class:`~repro.simulation._fastcore.Accelerator` to
+        drive instead of the process-wide shared one -- in particular a
+        *private* instance (``load_accelerator(private=True)``), whose C
+        globals are not shared with any other engine, so two engines can
+        run their C hot loops concurrently from different threads (the
+        ctypes calls release the GIL).  Takes precedence over
+        ``accelerate``.
     """
 
     shuffle_each_cycle: bool = True
@@ -350,6 +358,7 @@ class FlatArrayEngine(BaseEngine):
         node_factory=None,
         omniscient_peer_selection: bool = True,
         accelerate: Optional[bool] = None,
+        accelerator: Optional[Accelerator] = None,
     ) -> None:
         if node_factory is not None:
             raise ConfigurationError(
@@ -363,8 +372,10 @@ class FlatArrayEngine(BaseEngine):
             omniscient_peer_selection=omniscient_peer_selection,
         )
         assert self.config is not None
-        if accelerate is False:
-            self._accel: Optional[Accelerator] = None
+        if accelerator is not None:
+            self._accel: Optional[Accelerator] = accelerator
+        elif accelerate is False:
+            self._accel = None
         else:
             self._accel = load_accelerator()
             if accelerate is True and self._accel is None:
@@ -672,7 +683,7 @@ class FlatArrayEngine(BaseEngine):
     # -- the shared merge/truncate pipeline ---------------------------------
 
     def _merge_into(
-        self, target: int, r_ids: List[int], r_hops: List[int]
+        self, target: int, r_ids: List[int], r_hops: List[int], sample=None
     ) -> None:
         """``view <- selectView(merge(received, view))`` for one node.
 
@@ -685,6 +696,12 @@ class FlatArrayEngine(BaseEngine):
         reference engine does.  ``r_hops`` arrive with the receiver-side
         ``increaseHopCount`` already applied; both input lists are fresh
         per exchange and are consumed destructively.
+
+        ``sample`` optionally replaces the engine-RNG draw of the RAND
+        truncation: a callable ``(m, c) -> list`` returning the chosen
+        positions in sample order.  The sharded engine passes its keyed
+        counter-based sampler here, so both execution families share this
+        one merge implementation and cannot drift apart.
 
         The hot path leans on C-speed primitives: set intersection for
         duplicate detection (received and own views rarely overlap in
@@ -793,7 +810,10 @@ class FlatArrayEngine(BaseEngine):
                 # RAND: same draws as sample(list, c); the stable re-sort
                 # by hop count keeps the sample order on ties, like
                 # select_rand's chosen.sort(key=hop_count).
-                picked = self.rng.sample(range(m), c)
+                if sample is None:
+                    picked = self.rng.sample(range(m), c)
+                else:
+                    picked = sample(m, c)
                 picked.sort(key=lambda q: chops[order[q]])
                 order = [order[q] for q in picked]
             m = c

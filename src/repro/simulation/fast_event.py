@@ -166,6 +166,13 @@ class FastEventEngine(FlatArrayEngine):
         Per-message drop model (default: no loss).
     accelerate:
         As in :class:`~repro.simulation.fast.FastCycleEngine`.
+    accelerator:
+        An explicit (e.g. *private*) C-core instance -- see
+        :class:`~repro.simulation.arrayviews.FlatArrayEngine`.  With a
+        private instance per engine, several engines can run their C
+        event loops concurrently from different threads: ``fc_event_run``
+        executes without the GIL (ctypes releases it for the duration of
+        the call) and touches only its own library's globals.
     ticks_per_period:
         Integer tick resolution of the scheduler (see module docstring).
     lockstep_phases:
@@ -204,6 +211,7 @@ class FastEventEngine(FlatArrayEngine):
         loss: Optional[LossModel] = None,
         omniscient_peer_selection: bool = True,
         accelerate: Optional[bool] = None,
+        accelerator: Optional[Accelerator] = None,
         ticks_per_period: int = DEFAULT_TICKS_PER_PERIOD,
         lockstep_phases: bool = False,
     ) -> None:
@@ -214,6 +222,7 @@ class FastEventEngine(FlatArrayEngine):
             node_factory=node_factory,
             omniscient_peer_selection=omniscient_peer_selection,
             accelerate=accelerate,
+            accelerator=accelerator,
         )
         if period <= 0:
             raise ValueError(f"period must be > 0, got {period}")

@@ -114,7 +114,7 @@ def generate_trace(
     return events
 
 
-_ACCELERATED_ENGINES = frozenset({"fast", "fast-event"})
+_ACCELERATED_ENGINES = frozenset({"fast", "fast-event", "fast-sharded"})
 """Registry engines that compile the shared C core at first use."""
 
 

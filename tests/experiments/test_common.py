@@ -109,12 +109,15 @@ class TestConvergedEngine:
 
 class TestEngineSelection:
     def test_registry_contents(self):
+        from repro.simulation.sharded import ShardedCycleEngine
+
         assert ENGINES == {
             "cycle": CycleEngine,
             "fast": FastCycleEngine,
             "live": LiveEngine,
             "event": EventEngine,
             "fast-event": FastEventEngine,
+            "fast-sharded": ShardedCycleEngine,
         }
 
     def test_default_is_cycle(self, monkeypatch):

@@ -182,6 +182,28 @@ class TestWorkerResolution:
         result = run_plan(plan, workers=4)  # 1 cell: serial, and says so
         assert result.workers == 1
 
+    def test_single_core_scale_default_falls_back_to_serial(
+        self, monkeypatch
+    ):
+        # Regression: a scale-defaulted pool on a one-core box spawned
+        # worker processes that only added IPC overhead (BENCH_run_plan
+        # measured a 0.5x slowdown).  The scale-default branch now
+        # resolves serial there.
+        from dataclasses import replace
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        pooled = replace(SCALES["quick"], default_workers=4)
+        assert resolve_workers(None, scales=(pooled,)) == 1
+        assert resolve_workers(None, scales=(SCALES["full"],)) == 1
+
+    def test_single_core_explicit_request_still_wins(self, monkeypatch):
+        # ...but an explicit ask for a pool -- argument or environment --
+        # is honoured even on one core: the user asked for it.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert resolve_workers(4) == 4
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(None, scales=(SCALES["quick"],)) == 4
+
     def test_malformed_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "many")
         with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
