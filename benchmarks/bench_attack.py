@@ -1,0 +1,46 @@
+"""Benchmark + reproduction of the adversarial attack sweep.
+
+Regenerates the hub-poisoning fraction x protocol table at the ambient
+scale and checks the qualitative claims the artefact exists to surface:
+honest (f = 0) baselines are near-uniform and attacker-free, a 10%
+attacker fraction visibly captures in-degree and distorts the sampling
+distribution on every design, and the f = 0 generic cell matches the
+table2 run of the same seed.  The machine-readable rows land in
+``benchmarks/out/BENCH_attack.json`` for the CI ``adversary`` job.
+"""
+
+from benchmarks.conftest import emit_json, emit_report
+from repro.experiments import attack, table2
+
+
+def test_attack_reproduction(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: attack.run(scale=scale, seed=0), rounds=1, iterations=1
+    )
+    emit_report("attack", attack.report(result))
+    emit_json("attack", attack.summary_dict(result))
+
+    by_key = {(row.protocol, row.fraction): row for row in result.rows}
+    protocols = sorted({row.protocol for row in result.rows})
+    assert len(protocols) == 4
+
+    for protocol in protocols:
+        honest = by_key[(protocol, 0.0)]
+        attacked = by_key[(protocol, 0.1)]
+        # Honest runs reference no attackers and stay roughly uniform.
+        assert honest.attacker_share == 0.0
+        assert honest.total_variation < 0.5
+        # f=0.1 hub poisoning captures most links on every design.
+        assert attacked.attacker_share > 0.5, protocol
+        assert attacked.total_variation > honest.total_variation, protocol
+        assert attacked.chi_square > honest.chi_square, protocol
+
+    # The honest generic cell is the table2 cell of the same seed.
+    reference = table2.run(scale=scale, seed=0)
+    table2_generic = next(
+        row for row in reference.rows if row.label == "(rand,head,pushpull)"
+    )
+    assert (
+        by_key[("(rand,head,pushpull)", 0.0)].mean_degree
+        == table2_generic.dynamics.final_cycle_mean_degree
+    )

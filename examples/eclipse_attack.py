@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Eclipsing victims -- and flushing the attack with freshness healing.
+
+A 1000-node overlay converges honestly, then a small colluding set (2%)
+eclipses ten victims for 25 cycles: every attacker exchange is
+retargeted at a victim and answered with fresh hop-0 attacker-only
+descriptors, so the victims' views fill with attackers while the rest of
+the overlay sees nothing unusual.  When the window closes, three design
+points recover differently:
+
+- ``(rand,rand,pushpull)`` (H = 0): no age bias at all -- forged entries
+  survive view truncation at random and drain away slowly;
+- ``(rand,rand,pushpull);H10S0`` (partial healer): *worse* during early
+  recovery -- the forged hop-0 descriptors are the youngest entries in
+  every merge buffer, so discarding the H oldest protects the poison
+  until it has aged past the honest entries;
+- ``(rand,head,pushpull)`` (freshness-first view selection, the paper's
+  self-healing design point): flushes fastest -- the instant the
+  attackers fall silent their entries stop being the newest, and
+  keep-the-freshest-c replaces them within a handful of cycles.
+
+The paper's Section 7 lesson, replayed as a security property: healing
+that *prefers fresh information* evicts stale malicious state quickly,
+but any age-based rule can be gamed while an attacker is actively
+forging timestamps -- only the attack's end makes freshness honest
+again.
+
+The whole attack is one declarative spec -- an ``adversary`` block on a
+plain convergence scenario -- runnable on any cycle-family engine.
+
+Run with::
+
+    python examples/eclipse_attack.py [n_nodes]
+"""
+
+import sys
+
+from repro.core.config import ProtocolConfig
+from repro.simulation.trace import Observer
+from repro.workloads import AdversarySpec, ScenarioSpec, prepare_run
+
+VIEW_SIZE = 20
+CONVERGE = 20
+ATTACK = 25
+RECOVER = 35
+VICTIMS = tuple(range(10))
+
+VARIANTS = (
+    ("(rand,rand,pushpull)", "no age bias (H=0)"),
+    ("(rand,rand,pushpull);h10s0", "partial healer (H=c/2)"),
+    ("(rand,head,pushpull)", "freshness-first (full healing)"),
+)
+
+SPEC = ScenarioSpec(
+    name="eclipse-demo",
+    bootstrap="random",
+    cycles=CONVERGE + ATTACK + RECOVER,
+    adversary=AdversarySpec(
+        kind="eclipse",
+        fraction=0.02,
+        victims=VICTIMS,
+        start_cycle=CONVERGE,
+        stop_cycle=CONVERGE + ATTACK,
+    ),
+    description="converge, eclipse ten victims, stop, watch recovery",
+)
+
+
+class ExposureTrace(Observer):
+    """Fraction of the victims' view entries pointing at attackers."""
+
+    def __init__(self, victims, attackers):
+        self.victims = victims
+        self.attackers = frozenset(attackers)
+        self.series = []
+
+    def after_cycle(self, engine):
+        rows = hits = 0
+        for victim in self.victims:
+            for descriptor in engine.node(victim).view:
+                rows += 1
+                if descriptor.address in self.attackers:
+                    hits += 1
+        self.series.append(hits / rows if rows else 0.0)
+
+
+def run_variant(label, n_nodes, seed=7):
+    config = ProtocolConfig.from_label(label, VIEW_SIZE)
+    runtime = prepare_run(
+        SPEC, config, n_nodes=n_nodes, seed=seed, engine="fast"
+    )
+    handle = runtime.adversary
+    victims = [runtime.bootstrap_addresses[i] for i in VICTIMS]
+    trace = ExposureTrace(victims, handle.attackers)
+    runtime.add_observer(trace)
+    runtime.run_to_end()
+    return handle, trace.series
+
+
+def sparkline(series, every=5):
+    marks = " .:-=+*#%@"
+    return "".join(
+        marks[min(int(value * (len(marks) - 1) + 0.5), len(marks) - 1)]
+        for value in series[::every]
+    )
+
+
+def main() -> None:
+    n_nodes = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    stop = CONVERGE + ATTACK
+    print(
+        f"Eclipse attack on {n_nodes} nodes, c={VIEW_SIZE}: "
+        f"{len(VICTIMS)} victims, attack during cycles "
+        f"{CONVERGE}-{stop}\n"
+    )
+    for label, description in VARIANTS:
+        handle, series = run_variant(label, n_nodes)
+        # Residual exposure: summed victim-view contamination after the
+        # attack window closes -- "how long does the poison linger",
+        # in units of fully-eclipsed cycles.
+        residual = sum(series[stop:])
+        flush = next(
+            (i - stop for i in range(stop, len(series)) if series[i] < 0.05),
+            None,
+        )
+        flushed = f"{flush} cycles" if flush is not None else "never"
+        print(f"{label}  --  {description}")
+        print(
+            f"  attackers: {len(handle.attackers)}  "
+            f"peak exposure: {max(series):.0%}"
+        )
+        print(f"  exposure  [{sparkline(series)}]  (one mark per 5 cycles)")
+        print(
+            f"  flushed below 5% in {flushed}; "
+            f"residual exposure {residual:.2f} eclipsed-cycle equivalents\n"
+        )
+    print(
+        "Freshness-first healing flushes the eclipse fastest once the\n"
+        "attackers fall silent; a partial healer is gamed by the forged\n"
+        "hop-0 timestamps and holds the poison slightly longer than no\n"
+        "age bias at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,7 @@ else:
 
 setup(
     name="repro-peer-sampling",
-    version="1.7.0",
+    version="1.8.0",
     description=(
         "Reproduction of 'The Peer Sampling Service' (Jelasity et al., "
         "Middleware 2004): gossip protocol library, simulation engines, "

@@ -1,0 +1,449 @@
+"""Attacker placement and per-engine attack installation.
+
+:func:`install_adversary` binds a compiled scenario's
+:class:`~repro.workloads.spec.AdversarySpec` to its engine:
+
+- attacker/victim placement is resolved against the bootstrap population
+  -- explicit spec indices, or a seeded sample of ``fraction * n`` nodes
+  drawn from a *private* ``Random(placement_seed)`` so the placement is
+  identical on every engine and run seed and never perturbs the shared
+  protocol RNG;
+- on :class:`~repro.simulation.engine.CycleEngine` and
+  :class:`~repro.net.engine.LiveEngine`, attacker nodes are wrapped in
+  :class:`~repro.adversary.behaviors.AdversarialNode` (on the live
+  engine the wrapper is installed into the daemon too, so both the
+  active task and the datagram receive path go through it);
+- on :class:`~repro.simulation.fast.FastCycleEngine`, a
+  :class:`FastAdversary` replaces the cycle loop while the attack window
+  is active, replicating ``_run_cycle_python`` draw for draw with the
+  attack branches inlined -- the fast family has no per-node objects to
+  wrap.
+
+:class:`NetworkInterceptor` (via :func:`intercept_network`) is the
+wire-level alternative for the live layer: it hooks
+:meth:`~repro.net.transport.LoopbackNetwork.deliver` and rewrites or
+drops attacker-sent *datagrams* (decode, forge, re-encode in the same
+wire version), demonstrating that the attacks need no cooperation from
+the node software at all.  The engine installers use node wrapping
+because it preserves cross-engine byte-identity; the interceptor is for
+transport-focused tests and demos.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from array import array
+from itertools import compress
+from struct import error as struct_error
+from typing import List, Tuple
+
+from repro.adversary.behaviors import AdversarialNode, AdversaryState
+from repro.core.codec import CodecError, decode_frame, encode_message
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.core.policies import PeerSelection
+from repro.net.daemon import _ENVELOPE, _KIND_REPLY
+from repro.net.engine import LiveEngine
+from repro.net.transport import LoopbackNetwork
+from repro.simulation.engine import CycleEngine
+from repro.simulation.fast import FastCycleEngine
+from repro.simulation.trace import Observer
+from repro.workloads.spec import AdversarySpec
+
+__all__ = [
+    "ADVERSARY_ENGINE_NAMES",
+    "AdversaryHandle",
+    "AttackWindow",
+    "FastAdversary",
+    "NetworkInterceptor",
+    "install_adversary",
+    "intercept_network",
+    "place_attackers",
+]
+
+ADVERSARY_ENGINE_NAMES = frozenset({"cycle", "fast", "live"})
+"""Registry engines adversarial scenarios can run on (the cycle-model
+family; the event-driven engines have no attack installation yet)."""
+
+
+def place_attackers(
+    spec: AdversarySpec, addresses: List[Address]
+) -> Tuple[Tuple[Address, ...], Tuple[Address, ...]]:
+    """Resolve ``(attackers, victims)`` over the bootstrap population.
+
+    Spec indices index into ``addresses`` (the bootstrap creation
+    order).  A ``fraction`` placement samples ``round(fraction * n)``
+    non-victim nodes from ``Random(placement_seed)`` -- deterministic,
+    engine-independent, and independent of the run seed.
+    """
+    n = len(addresses)
+
+    def resolve(indices, field: str) -> Tuple[Address, ...]:
+        resolved = []
+        for index in indices:
+            if not 0 <= index < n:
+                raise ConfigurationError(
+                    f"adversary.{field} index {index} is out of range for "
+                    f"a bootstrap population of {n} nodes"
+                )
+            resolved.append(addresses[index])
+        return tuple(resolved)
+
+    victims = resolve(spec.victims, "victims")
+    if spec.attackers:
+        return resolve(spec.attackers, "attackers"), victims
+    count = int(round(spec.fraction * n))
+    if count == 0:
+        return (), victims
+    victim_set = set(victims)
+    eligible = [a for a in addresses if a not in victim_set]
+    if count > len(eligible):
+        raise ConfigurationError(
+            f"adversary.fraction {spec.fraction} asks for {count} "
+            f"attackers but only {len(eligible)} non-victim nodes exist"
+        )
+    placement = random.Random(spec.placement_seed)
+    return tuple(placement.sample(eligible, count)), victims
+
+
+class AttackWindow(Observer):
+    """Flips the shared :attr:`AdversaryState.active` flag per cycle.
+
+    The attack is live for cycles ``start_cycle <= cycle < stop_cycle``
+    (open-ended when ``stop_cycle`` is ``None``)."""
+
+    def __init__(self, state: AdversaryState) -> None:
+        self._state = state
+
+    def before_cycle(self, engine) -> None:
+        spec = self._state.spec
+        cycle = engine.cycle
+        self._state.active = cycle >= spec.start_cycle and (
+            spec.stop_cycle is None or cycle < spec.stop_cycle
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversaryHandle:
+    """What :func:`install_adversary` resolved: placement plus state."""
+
+    spec: AdversarySpec
+    attackers: Tuple[Address, ...]
+    victims: Tuple[Address, ...]
+    state: AdversaryState
+
+
+def _view_capacity(engine) -> int:
+    """The engine's view capacity (generic config or first node's view)."""
+    config = getattr(engine, "config", None)
+    if config is not None:
+        return config.view_size
+    for node in engine.nodes():
+        return node.view.capacity
+    raise ConfigurationError(
+        "cannot determine the view capacity of an empty engine"
+    )
+
+
+def install_adversary(runtime) -> AdversaryHandle:
+    """Place the attackers of ``runtime.spec.adversary`` and arm them.
+
+    Called by :func:`~repro.workloads.runtime.compile_scenario` right
+    after the bootstrap.  A placement that resolves to zero attackers
+    (``fraction=0``) installs nothing at all, so the run stays
+    byte-identical to the same spec without an adversary block.
+    """
+    spec = runtime.spec.adversary
+    engine = runtime.engine
+    addresses = runtime.bootstrap_addresses
+    attackers, victims = place_attackers(spec, addresses)
+    state = AdversaryState(
+        spec,
+        attackers,
+        victims,
+        rng=engine.rng,
+        is_alive=engine.is_alive,
+        view_size=_view_capacity(engine),
+    )
+    handle = AdversaryHandle(
+        spec=spec, attackers=attackers, victims=victims, state=state
+    )
+    if not attackers:
+        return handle
+    engine.add_observer(AttackWindow(state))
+    if isinstance(engine, FastCycleEngine):
+        engine.adversary = FastAdversary(engine, state)
+    elif isinstance(engine, LiveEngine):
+        for address in attackers:
+            wrapper = AdversarialNode(engine._nodes[address], state)
+            engine._nodes[address] = wrapper
+            # Both paths must see the wrapper: the engine's gossip round
+            # reads daemon.node (active thread) and so does the
+            # datagram receive callback (passive thread).
+            engine.daemon(address).node = wrapper
+    elif isinstance(engine, CycleEngine):
+        for address in attackers:
+            engine._nodes[address] = AdversarialNode(
+                engine._nodes[address], state
+            )
+    else:
+        raise ConfigurationError(
+            f"adversarial scenarios run on the "
+            f"{sorted(ADVERSARY_ENGINE_NAMES)} engines; "
+            f"got {type(engine).__name__}"
+        )
+    return handle
+
+
+class FastAdversary:
+    """The adversarial cycle loop for :class:`FastCycleEngine`.
+
+    :meth:`run_cycle` is ``FastCycleEngine._run_cycle_python`` with the
+    attack branches inlined.  Parity rules (each mirrors what
+    :class:`AdversarialNode` does on the object engines):
+
+    - honest peer selection always runs first (same draws), the eclipse
+      retarget is one *extra* ``randrange`` only when live victims exist;
+    - a poisoned or tampered buffer arrives with every hop count 1 (sent
+      as 0, incremented once by the receiver), so its merge consumes
+      exactly the draws the reference merge consumes;
+    - a dropping responder skips both merges but still counts the
+      exchange completed; a dropping initiator sends an empty request
+      (merging an empty buffer is a draw-free no-op on the reference
+      engine) and discards the reply.
+    """
+
+    __slots__ = (
+        "_state",
+        "_attacker_ids",
+        "_victim_ids",
+        "_victim_id_set",
+        "_adverts",
+    )
+
+    def __init__(self, engine: FastCycleEngine, state: AdversaryState) -> None:
+        self._state = state
+        id_of = engine._id_of
+        attacker_ids = [id_of[a] for a in state.attackers]
+        self._attacker_ids = frozenset(attacker_ids)
+        self._victim_ids = tuple(id_of[v] for v in state.victims)
+        self._victim_id_set = frozenset(self._victim_ids)
+        cap = state.view_size + 1
+        self._adverts = {
+            i: tuple([i] + [b for b in attacker_ids if b != i])[:cap]
+            for i in attacker_ids
+        }
+
+    @property
+    def active(self) -> bool:
+        """Whether the attack window is currently open."""
+        return self._state.active
+
+    def run_cycle(self, engine: FastCycleEngine) -> None:
+        """One full cycle with the attack branches live."""
+        kind = self._state.spec.kind
+        poisoning = kind in ("hub", "eclipse")
+        eclipsing = kind == "eclipse"
+        tampering = kind == "tamper"
+        dropping = kind == "drop"
+        attackers = self._attacker_ids
+        victim_ids = self._victim_ids
+        victim_set = self._victim_id_set
+        adverts = self._adverts
+
+        rng = engine.rng
+        config = engine.config
+        c = config.view_size
+        vids = engine._vids
+        vhops = engine._vhops
+        vlen = engine._vlen
+        row_of = engine._row_of
+        alive = engine._alive
+        addr_of = engine._addr_of
+        push = config.push
+        pull = config.pull
+        peer_sel = config.peer_selection
+        ps_rand = peer_sel is PeerSelection.RAND
+        ps_head = peer_sel is PeerSelection.HEAD
+        filter_dead = (
+            engine.omniscient_peer_selection and engine._maybe_dead_refs
+        )
+        check_dead = not engine.omniscient_peer_selection
+        reachable = engine.reachable
+        randrange = rng.randrange
+        merge_into = engine._merge_into
+        inc = (1).__add__
+        alive_at = alive.__getitem__
+        completed = 0
+        failed = 0
+
+        order = list(engine._live)
+        if engine.shuffle_each_cycle:
+            rng.shuffle(order)
+        for i in order:
+            if not alive[i]:
+                continue  # crashed by an observer mid-cycle
+            row = row_of[i]
+            base = row * c
+            ln = vlen[row]
+            end = base + ln
+            if not ln:
+                continue  # empty view: nothing to gossip with
+            aged = array("q", map(inc, vhops[base:end]))
+            vhops[base:end] = aged
+            i_atk = i in attackers
+            if filter_dead:
+                vslice = vids[base:end]
+                cand = list(compress(vslice, map(alive_at, vslice)))
+                if not cand:
+                    continue
+                if ps_rand:
+                    p = cand[randrange(len(cand))]
+                elif ps_head:
+                    p = cand[0]
+                else:
+                    p = cand[-1]
+            else:
+                if ps_rand:
+                    p = vids[base + randrange(ln)]
+                elif ps_head:
+                    p = vids[base]
+                else:
+                    p = vids[end - 1]
+            if i_atk and eclipsing:
+                # The extra retarget draw AdversarialNode.begin_exchange
+                # takes, at the same point in the draw order.
+                live_victims = [v for v in victim_ids if alive[v]]
+                if live_victims:
+                    p = live_victims[randrange(len(live_victims))]
+            # Hoisted from the non-omniscient selection branch above:
+            # check_dead is False whenever filter_dead can be True, and
+            # a retargeted victim is live by construction.
+            if check_dead and not alive[p]:
+                failed += 1
+                continue
+            if reachable is not None and not reachable(
+                addr_of[i], addr_of[p]
+            ):
+                failed += 1
+                continue
+            p_atk = p in attackers
+            if i_atk and poisoning:
+                rq_ids = list(adverts[i])
+                rq_hops = [1] * len(rq_ids)
+            elif i_atk and dropping:
+                rq_ids = []
+                rq_hops = []
+            elif push:
+                rq_ids = [i]
+                rq_ids += vids[base:end]
+                if i_atk and tampering:
+                    rq_hops = [1] * len(rq_ids)
+                else:
+                    rq_hops = [1]
+                    rq_hops += map(inc, aged)
+            else:
+                rq_ids = []
+                rq_hops = []
+            if pull:
+                if p_atk and dropping:
+                    # Request swallowed, empty reply merged (a no-op):
+                    # neither side changes, the exchange completes.
+                    completed += 1
+                    continue
+                if p_atk and poisoning and (
+                    not eclipsing or i in victim_set
+                ):
+                    rp_ids = list(adverts[p])
+                    rp_hops = [1] * len(rp_ids)
+                else:
+                    prow = row_of[p]
+                    pbase = prow * c
+                    pend = pbase + vlen[prow]
+                    rp_ids = [p]
+                    rp_ids += vids[pbase:pend]
+                    if p_atk and tampering:
+                        rp_hops = [1] * len(rp_ids)
+                    else:
+                        rp_hops = [1]
+                        rp_hops += map(inc, vhops[pbase:pend])
+                if rq_ids:
+                    merge_into(p, rq_ids, rq_hops)
+                if not (i_atk and dropping):
+                    merge_into(i, rp_ids, rp_hops)
+            else:
+                if p_atk and dropping:
+                    completed += 1
+                    continue
+                merge_into(p, rq_ids, rq_hops)
+            completed += 1
+        engine.completed_exchanges += completed
+        engine.failed_exchanges += failed
+
+
+class NetworkInterceptor:
+    """A man-in-the-middle on a :class:`LoopbackNetwork`.
+
+    Rewrites (or swallows) datagrams *sent by attackers* while the
+    attack window is active: the codec frame is decoded, forged
+    according to the spec kind, and re-encoded in the wire version it
+    arrived in; unparsable data passes through untouched.  Install via
+    :func:`intercept_network`, remove with :meth:`uninstall`.
+    """
+
+    def __init__(self, network: LoopbackNetwork, state: AdversaryState) -> None:
+        self.network = network
+        self.state = state
+        self.forwarded = 0
+        self.rewritten = 0
+        self.dropped = 0
+        self._original = network.deliver
+        network.deliver = self.deliver  # type: ignore[method-assign]
+
+    def uninstall(self) -> None:
+        """Restore the network's own ``deliver`` (idempotent)."""
+        try:
+            del self.network.deliver  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+
+    def deliver(
+        self, sender: Address, destination: Address, data: bytes
+    ) -> None:
+        state = self.state
+        if not state.active or sender not in state.attacker_set:
+            self.forwarded += 1
+            return self._original(sender, destination, data)
+        kind = state.spec.kind
+        if kind == "drop":
+            self.dropped += 1
+            return None
+        try:
+            kind_byte, exchange_id = _ENVELOPE.unpack_from(data, 0)
+            version, payload = decode_frame(bytes(data[_ENVELOPE.size:]))
+        except (CodecError, struct_error):
+            # Not a gossip frame (or truncated): forward untouched.
+            self.forwarded += 1
+            return self._original(sender, destination, data)
+        if kind == "tamper":
+            payload = [NodeDescriptor(d.address, 0) for d in payload]
+        elif kind == "hub":
+            payload = state.poison_payload(sender)
+        else:  # eclipse: only replies to victims are forged
+            if kind_byte != _KIND_REPLY or destination not in state.victim_set:
+                self.forwarded += 1
+                return self._original(sender, destination, data)
+            payload = state.poison_payload(sender)
+        self.rewritten += 1
+        frame = _ENVELOPE.pack(kind_byte, exchange_id) + encode_message(
+            payload, version=version
+        )
+        return self._original(sender, destination, frame)
+
+
+def intercept_network(
+    network: LoopbackNetwork, state: AdversaryState
+) -> NetworkInterceptor:
+    """Install a :class:`NetworkInterceptor` on ``network``."""
+    return NetworkInterceptor(network, state)

@@ -32,8 +32,11 @@ EXPERIMENT_IDS = (
     "figure7",
     "services",
     "live-control",
+    "attack",
 )
 """All reproducible paper artefacts, in paper order (plus ``services``,
-the Section 1 applications run over a churned overlay, and
-``live-control``, Figure-2-style convergence of a real UDP cluster
-bootstrapped only through the control plane's seed node)."""
+the Section 1 applications run over a churned overlay, ``live-control``,
+Figure-2-style convergence of a real UDP cluster bootstrapped only
+through the control plane's seed node, and ``attack``, the adversarial
+hub-poisoning sweep over the studied protocols and the extension
+samplers)."""

@@ -81,6 +81,8 @@ _DESCRIPTIONS = {
     "services": "gossip services (broadcast/averaging/search) vs oracle",
     "live-control": "live UDP cluster bootstrapped only through the seed "
     "node (control plane)",
+    "attack": "hub-poisoning sweep: attacker fraction x protocol "
+    "(generic, healer, cyclon, peerswap)",
 }
 
 

@@ -10,19 +10,41 @@ benchmarks:
   protocol (related work: probabilistically sized static views);
 - :mod:`repro.extensions.second_view` -- the paper's Section 10 proposal:
   run several protocol instances concurrently ("a second view for
-  gossiping membership information") and sample from the combined views.
+  gossiping membership information") and sample from the combined views;
+- :mod:`repro.extensions.peerswap` -- PeerSwap's swap-based sampling
+  (Guerraoui et al., arXiv 2408.03829: pointer-conserving exchanges with
+  provable closeness-to-uniform -- the honest baseline for the
+  adversarial experiments);
+- :mod:`repro.extensions.registry` -- the name -> node-factory registry
+  that makes ``cyclon``/``peerswap`` addressable from
+  ``ExperimentPlan.protocols`` next to generic ``(peer,view,prop)``
+  labels.
 """
 
 from repro.extensions.cyclon import CyclonConfig, CyclonNode, cyclon_engine
+from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode, peerswap_engine
+from repro.extensions.registry import (
+    EXTENSION_PROTOCOLS,
+    ExtensionProtocol,
+    extension_protocol,
+    is_extension_protocol,
+)
 from repro.extensions.scamp import ScampConfig, ScampNetwork
 from repro.extensions.second_view import CombinedOverlay, CombinedSamplingService
 
 __all__ = [
+    "EXTENSION_PROTOCOLS",
     "CombinedOverlay",
     "CombinedSamplingService",
     "CyclonConfig",
     "CyclonNode",
+    "ExtensionProtocol",
+    "PeerSwapConfig",
+    "PeerSwapNode",
     "ScampConfig",
     "ScampNetwork",
     "cyclon_engine",
+    "extension_protocol",
+    "is_extension_protocol",
+    "peerswap_engine",
 ]

@@ -1,0 +1,184 @@
+"""PeerSwap: swap-based peer sampling (Guerraoui et al., arXiv 2408.03829).
+
+PeerSwap replaces the generic framework's *merge-and-truncate* view
+update with a strict **swap**: the initiator removes a random subset of
+its own view and sends it, the responder removes an equally sized reply
+subset before integrating, and each side installs exactly what the other
+gave up.  No descriptor is ever duplicated by an exchange, so the global
+multiset of pointers is (approximately) conserved -- the property behind
+PeerSwap's provable closeness-to-uniform guarantees, and the reason it
+is the natural honest baseline for the adversarial experiments: a hub
+cannot inflate its in-degree through swaps alone, it can only relocate
+the pointers it already owns.
+
+:class:`PeerSwapNode` implements the same exchange interface as
+:class:`~repro.core.protocol.GossipNode` (and :class:`CyclonNode`), so
+:class:`~repro.simulation.engine.CycleEngine` drives it unchanged; use
+:func:`peerswap_engine` or the ``"peerswap"`` entry of
+:data:`repro.extensions.registry.EXTENSION_PROTOCOLS`.  Descriptor ages
+reuse the ``hop_count`` field, as in the Cyclon port.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import Exchange
+from repro.core.view import PartialView
+
+from repro.simulation.engine import CycleEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class PeerSwapConfig:
+    """PeerSwap parameters: view capacity and swap subset size."""
+
+    view_size: int = 30
+    swap_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigurationError(
+                f"view_size must be >= 1, got {self.view_size}"
+            )
+        if not 1 <= self.swap_size <= self.view_size:
+            raise ConfigurationError(
+                f"swap_size must be in [1, view_size], got {self.swap_size}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``peerswap(c=30,k=8)``."""
+        return f"peerswap(c={self.view_size},k={self.swap_size})"
+
+
+class PeerSwapNode:
+    """One PeerSwap participant, engine-compatible with ``GossipNode``."""
+
+    __slots__ = ("address", "config", "view", "_rng", "_sent", "liveness")
+
+    def __init__(
+        self,
+        address: Address,
+        config: PeerSwapConfig,
+        rng: random.Random,
+        view: Optional[PartialView] = None,
+    ) -> None:
+        self.address = address
+        self.config = config
+        self._rng = rng
+        self.view = view if view is not None else PartialView(config.view_size)
+        # Swap subsets removed-and-sent to peers whose replies are still in
+        # flight, keyed by peer address: on a failed exchange the entries
+        # are simply lost (PeerSwap tolerates this; pointer count shrinks
+        # by at most swap_size per failure and churn refills it).
+        self._sent: Dict[Address, List[NodeDescriptor]] = {}
+        # Membership-oracle slot for interface parity with GossipNode.
+        # Like Cyclon, PeerSwap does not consult it for partner selection:
+        # a dead partner costs one lost swap subset, nothing else.
+        self.liveness = None
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerSwapNode(address={self.address!r}, "
+            f"{self.config.label}, view_size={len(self.view)})"
+        )
+
+    def sample_peer(self) -> Optional[Address]:
+        """Uniform random view member (the ``getPeer`` primitive)."""
+        entry = self.view.random_entry(self._rng)
+        return None if entry is None else entry.address
+
+    # -- active thread ------------------------------------------------------
+
+    def begin_exchange(self) -> Optional[Exchange]:
+        """Start a swap: pick a uniform partner, remove and send a subset.
+
+        The partner itself is excluded from the outgoing subset (sending
+        a pointer to the receiver would destroy it: the receiver skips
+        self-descriptors), so the swapped pointers stay conserved.
+        """
+        self.view.increase_hop_counts()
+        partner_entry = self.view.random_entry(self._rng)
+        if partner_entry is None:
+            return None
+        partner = partner_entry.address
+        candidates = [
+            entry for entry in self.view.entries if entry.address != partner
+        ]
+        outgoing = self._rng.sample(
+            candidates, min(self.config.swap_size, len(candidates))
+        )
+        for entry in outgoing:
+            self.view.remove(entry.address)
+        payload = [NodeDescriptor(self.address, 0)]
+        payload.extend(entry.copy() for entry in outgoing)
+        self._sent[partner] = outgoing
+        return Exchange(partner, payload)
+
+    def handle_response(self, peer: Address, payload: List[NodeDescriptor]) -> None:
+        """Install the partner's reply subset in the vacated slots."""
+        self._sent.pop(peer, None)
+        self._integrate(payload)
+
+    # -- passive thread -----------------------------------------------------
+
+    def handle_request(
+        self, peer: Address, payload: List[NodeDescriptor]
+    ) -> List[NodeDescriptor]:
+        """Answer a swap: remove a reply subset first, then integrate.
+
+        The reply subset is removed *before* the received entries are
+        merged so a descriptor never travels back to the node that just
+        sent it; the requester is excluded from the reply for the same
+        conservation reason as in :meth:`begin_exchange`.
+        """
+        candidates = [
+            entry for entry in self.view.entries if entry.address != peer
+        ]
+        replied = self._rng.sample(
+            candidates, min(self.config.swap_size, len(candidates))
+        )
+        for entry in replied:
+            self.view.remove(entry.address)
+        reply = [NodeDescriptor(self.address, 0)]
+        reply.extend(entry.copy() for entry in replied)
+        self._integrate(payload)
+        return reply
+
+    # -- shared merge rule --------------------------------------------------
+
+    def _integrate(self, received: List[NodeDescriptor]) -> None:
+        """Install received descriptors into free slots, skipping self and
+        duplicates; drop the overflow if the view is already full."""
+        for descriptor in received:
+            if descriptor.address == self.address:
+                continue
+            if descriptor.address in self.view:
+                continue
+            if self.view.is_full():
+                break
+            entries = self.view.entries
+            entries.append(descriptor)
+            self.view.replace(entries)
+
+
+def peerswap_engine(
+    config: Optional[PeerSwapConfig] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CycleEngine:
+    """A :class:`CycleEngine` whose nodes run PeerSwap.
+
+    >>> engine = peerswap_engine(PeerSwapConfig(view_size=10, swap_size=4))
+    """
+    swap_config = config if config is not None else PeerSwapConfig()
+
+    def factory(address: Address, engine_rng: random.Random) -> PeerSwapNode:
+        return PeerSwapNode(address, swap_config, engine_rng)
+
+    return CycleEngine(seed=seed, rng=rng, node_factory=factory)

@@ -1,0 +1,106 @@
+"""Plan-addressable extension protocols.
+
+:class:`~repro.workloads.plan.ExperimentPlan` protocol labels are
+normally parsed by ``ProtocolConfig.from_label`` into the paper's
+generic design space.  This registry makes the extension samplers
+addressable by *name* instead, so a plan (or ``repro-experiments
+run-spec``) can put ``"cyclon"`` or ``"peerswap"`` next to
+``"(rand,head,pushpull)"`` in its ``protocols`` axis without
+constructing engines by hand.
+
+Each entry scales its subset parameter with the ambient view size the
+same way the examples did by hand (``min(8, view_size)``), keeping the
+per-exchange message cost comparable to the generic protocols at every
+scale preset.
+
+Extension protocols run on the plain :class:`CycleEngine` only: they are
+bespoke node implementations without flat-array kernels, so plans must
+pin ``engines=("cycle",)`` for these labels (``plan_cells`` enforces
+this eagerly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError
+from repro.extensions.cyclon import CyclonConfig, CyclonNode
+from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode
+
+NodeFactory = Callable[[Address, random.Random], object]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExtensionProtocol:
+    """One named extension sampler: config builder + node factory."""
+
+    name: str
+    description: str
+    make_config: Callable[[int], object]
+    """Build the protocol config for a given ambient view size."""
+
+    def make_factory(self, config: object) -> NodeFactory:
+        """An engine ``node_factory`` running this protocol."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class _CyclonProtocol(ExtensionProtocol):
+    def make_factory(self, config: object) -> NodeFactory:
+        def factory(address: Address, rng: random.Random) -> CyclonNode:
+            return CyclonNode(address, config, rng)
+
+        return factory
+
+
+@dataclasses.dataclass(frozen=True)
+class _PeerSwapProtocol(ExtensionProtocol):
+    def make_factory(self, config: object) -> NodeFactory:
+        def factory(address: Address, rng: random.Random) -> PeerSwapNode:
+            return PeerSwapNode(address, config, rng)
+
+        return factory
+
+
+EXTENSION_PROTOCOLS: Dict[str, ExtensionProtocol] = {
+    "cyclon": _CyclonProtocol(
+        name="cyclon",
+        description=(
+            "Cyclon age-based shuffling (Voulgaris et al.); "
+            "shuffle_length=min(8, view_size)"
+        ),
+        make_config=lambda view_size: CyclonConfig(
+            view_size=view_size, shuffle_length=min(8, view_size)
+        ),
+    ),
+    "peerswap": _PeerSwapProtocol(
+        name="peerswap",
+        description=(
+            "PeerSwap swap-based sampling (Guerraoui et al., "
+            "arXiv 2408.03829); swap_size=min(8, view_size)"
+        ),
+        make_config=lambda view_size: PeerSwapConfig(
+            view_size=view_size, swap_size=min(8, view_size)
+        ),
+    ),
+}
+"""Extension samplers addressable from ``ExperimentPlan.protocols``."""
+
+
+def is_extension_protocol(label: str) -> bool:
+    """True when ``label`` names a registered extension protocol."""
+    return label.strip().lower() in EXTENSION_PROTOCOLS
+
+
+def extension_protocol(label: str) -> ExtensionProtocol:
+    """Resolve a protocol label to its registry entry, eagerly validated."""
+    entry = EXTENSION_PROTOCOLS.get(label.strip().lower())
+    if entry is None:
+        known = ", ".join(sorted(EXTENSION_PROTOCOLS))
+        raise ConfigurationError(
+            f"unknown extension protocol {label!r}; registered: {known}"
+        )
+    return entry

@@ -95,6 +95,12 @@ class FastCycleEngine(FlatArrayEngine):
     shuffle_each_cycle: bool = True
     """Same contract as ``CycleEngine.shuffle_each_cycle``."""
 
+    adversary = None
+    """An installed :class:`~repro.adversary.harness.FastAdversary`, or
+    ``None``.  While its attack window is active it supplies the cycle
+    loop (pure Python, RNG-parity with the adversarial object engines);
+    outside the window the honest C/Python paths run unchanged."""
+
     # -- execution ---------------------------------------------------------
 
     def run_cycle(self) -> None:
@@ -104,7 +110,10 @@ class FastCycleEngine(FlatArrayEngine):
         module docstring for the RNG-parity argument.
         """
         self._notify_before_cycle()
-        if (
+        adversary = self.adversary
+        if adversary is not None and adversary.active:
+            adversary.run_cycle(self)
+        elif (
             self._accel is not None
             and self.reachable is None
             and type(self.rng) is random.Random

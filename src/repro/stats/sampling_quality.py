@@ -39,6 +39,10 @@ def sample_frequencies(
     maps each sampled address to its total hit count.  ``None`` results
     (empty views) are skipped.
     """
+    if calls_per_service < 1:
+        raise ValueError(
+            f"calls_per_service must be >= 1, got {calls_per_service}"
+        )
     counts: Counter = Counter()
     for service in services:
         for _ in range(calls_per_service):
@@ -110,6 +114,8 @@ def repeat_probability(
     """
     if calls < 2:
         raise ValueError("need at least 2 calls to measure repeats")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
     recent: List[Address] = []
     repeats = 0
     observations = 0
@@ -161,7 +167,20 @@ def evaluate_sampling_quality(
     repeat_calls:
         Samples drawn from one (arbitrary, first) service for the
         temporal repeat rate.
+
+    Degenerate inputs fail eagerly: an empty service mapping or a
+    single-node population has no uniform null to score against, so both
+    raise :class:`ValueError` before any sampling happens (instead of
+    surfacing as a ``StopIteration`` or a zero-expected-count division
+    mid-sweep).
     """
+    if not services:
+        raise ValueError("need at least one service to evaluate")
+    if len(services) < 2:
+        raise ValueError(
+            "a single-node population cannot be scored against the "
+            "uniform distribution; need at least 2 services"
+        )
     population = list(services)
     counts = sample_frequencies(list(services.values()), calls_per_service)
     first = next(iter(services.values()))

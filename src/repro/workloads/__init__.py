@@ -6,7 +6,9 @@ runs it*:
 - :mod:`repro.workloads.spec` -- :class:`ScenarioSpec`, a serializable
   bootstrap + typed event schedule (``grow``, ``catastrophic-failure``,
   ``continuous-churn``, ``churn-trace``, ``partition``/``heal``) with
-  eager validation and JSON round-tripping;
+  eager validation and JSON round-tripping, plus the optional
+  ``adversary`` block (:class:`AdversarySpec`) that arms
+  :mod:`repro.adversary` attacks over the bootstrap population;
 - :mod:`repro.workloads.library` -- the built-in named scenarios (the
   paper's workloads, scale-parameterized);
 - :mod:`repro.workloads.runtime` -- :func:`prepare_run` /
@@ -66,8 +68,10 @@ from repro.workloads.runtime import (
     warm_shared_caches,
 )
 from repro.workloads.spec import (
+    ADVERSARY_KINDS,
     BOOTSTRAP_KINDS,
     EVENT_KINDS,
+    AdversarySpec,
     CatastrophicFailure,
     ChurnTrace,
     ContinuousChurn,
@@ -79,10 +83,12 @@ from repro.workloads.spec import (
 )
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "BOOTSTRAP_KINDS",
     "EVENT_KINDS",
     "MEASUREMENTS",
     "SCENARIOS",
+    "AdversarySpec",
     "CatastrophicFailure",
     "ChurnTrace",
     "ContinuousChurn",

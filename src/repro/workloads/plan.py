@@ -296,6 +296,107 @@ def _measure_search_hit_rate(
     return extract
 
 
+def _measure_indegree_concentration(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    def extract() -> Dict[str, Any]:
+        handle = getattr(runtime, "adversary", None)
+        attackers = set(handle.attackers) if handle is not None else set()
+        indegree: Dict[Any, int] = {}
+        total = 0
+        for entries in runtime.engine.views().values():
+            for descriptor in entries:
+                total += 1
+                indegree[descriptor.address] = (
+                    indegree.get(descriptor.address, 0) + 1
+                )
+        attacker_links = sum(indegree.get(a, 0) for a in attackers)
+        return {
+            "total_links": total,
+            "attacker_links": attacker_links,
+            "attacker_share": attacker_links / total if total else 0.0,
+            "max_indegree_share": (
+                max(indegree.values()) / total if total else 0.0
+            ),
+            "n_attackers": len(attackers),
+        }
+
+    return extract
+
+
+def _measure_eclipse_exposure(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    from repro.simulation.trace import Observer
+
+    handle = getattr(runtime, "adversary", None)
+    attackers = frozenset(handle.attackers) if handle is not None else frozenset()
+    victims = tuple(handle.victims) if handle is not None else ()
+    cycles: List[int] = []
+    exposure: List[float] = []
+
+    class _ExposureCensus(Observer):
+        def after_cycle(self, engine) -> None:
+            rows = 0
+            hits = 0
+            for victim in victims:
+                if not engine.is_alive(victim):
+                    continue
+                for descriptor in engine.node(victim).view:
+                    rows += 1
+                    if descriptor.address in attackers:
+                        hits += 1
+            cycles.append(engine.cycle)
+            exposure.append(hits / rows if rows else 0.0)
+
+    runtime.add_observer(_ExposureCensus())
+    return lambda: {"cycles": list(cycles), "exposure": list(exposure)}
+
+
+def _measure_sampling_distance(
+    runtime: ScenarioRuntime, scale
+) -> Callable[[], Any]:
+    def extract() -> Dict[str, Any]:
+        from repro.services import sampling_services
+        from repro.stats.sampling_quality import (
+            chi_square_uniformity,
+            sample_frequencies,
+            total_variation_from_uniform,
+        )
+
+        # Runs post-run and after the record's views_digest, like
+        # broadcast-coverage: get_peer draws never mutate views and the
+        # engine RNG is byte-identical across the cycle family post-run,
+        # so the extracted distances are too.
+        handle = getattr(runtime, "adversary", None)
+        attackers = set(handle.attackers) if handle is not None else set()
+        engine = runtime.engine
+        population = engine.addresses()
+        honest = [
+            service
+            for address, service in sampling_services(engine).items()
+            if address not in attackers
+        ]
+        counts = sample_frequencies(honest, calls_per_service=25)
+        result: Dict[str, Any] = {
+            "population": len(population),
+            "honest_callers": len(honest),
+            "samples": sum(counts.values()),
+            "total_variation": None,
+            "normalized_chi_square": None,
+        }
+        if len(population) >= 2 and counts:
+            result["total_variation"] = total_variation_from_uniform(
+                counts, population
+            )
+            result["normalized_chi_square"] = chi_square_uniformity(
+                counts, population
+            )
+        return result
+
+    return extract
+
+
 MEASUREMENTS: Dict[str, Measurement] = {
     "metrics": Measurement(
         "clustering / average degree / path length per cycle (Figure 2/3)",
@@ -347,6 +448,23 @@ MEASUREMENTS: Dict[str, Measurement] = {
         "TTL random-walk lookups over the final overlay: hit rate, mean "
         "hops and stale-sample count (repro.services.RandomWalkSearch)",
         _measure_search_hit_rate,
+    ),
+    "indegree-concentration": Measurement(
+        "in-degree mass captured by the adversary in the final overlay: "
+        "attacker link share and the single largest in-degree share "
+        "(zeros without an adversary block)",
+        _measure_indegree_concentration,
+    ),
+    "eclipse-exposure": Measurement(
+        "per-cycle fraction of victim view entries pointing at "
+        "attackers (empty exposure without eclipse victims)",
+        _measure_eclipse_exposure,
+    ),
+    "sampling-distance": Measurement(
+        "distance of honest nodes' pooled getPeer() streams from the "
+        "uniform distribution over the final overlay: total variation "
+        "and normalized chi-square (repro.stats.sampling_quality)",
+        _measure_sampling_distance,
     ),
 }
 """Measurements selectable by name in :class:`ExperimentPlan`."""
@@ -417,7 +535,11 @@ class ExperimentPlan:
             object.__setattr__(self, attr, tuple(getattr(self, attr)))
         if not self.protocols:
             raise ConfigurationError("plan needs at least one protocol")
+        from repro.extensions.registry import is_extension_protocol
+
         for label in self.protocols:
+            if is_extension_protocol(label):
+                continue  # registry names (cyclon, peerswap) are valid
             ProtocolConfig.from_label(label)  # raises on bad labels
         if not self.scales:
             raise ConfigurationError("plan needs at least one scale")
@@ -722,7 +844,9 @@ def plan_cells(plan: ExperimentPlan) -> List[PlanCell]:
     the execution *and* record order of :func:`run_plan`, independent of
     worker count and completion order.
     """
+    from repro.adversary.harness import ADVERSARY_ENGINE_NAMES
     from repro.experiments.common import resolve_engine_name
+    from repro.extensions.registry import is_extension_protocol
 
     cells: List[PlanCell] = []
     for scale_entry, scale in zip(plan.scales, plan_scales(plan)):
@@ -732,7 +856,22 @@ def plan_cells(plan: ExperimentPlan) -> List[PlanCell]:
             effective_engine = resolve_engine_name(
                 engine_name, default=scale.default_engine
             )
+            if (
+                spec.adversary is not None
+                and effective_engine not in ADVERSARY_ENGINE_NAMES
+            ):
+                raise ConfigurationError(
+                    f"scenario {spec.name!r} carries an adversary block, "
+                    f"which runs on the {sorted(ADVERSARY_ENGINE_NAMES)} "
+                    f"engines only; cell resolved to {effective_engine!r}"
+                )
             for label in plan.protocols:
+                if is_extension_protocol(label) and effective_engine != "cycle":
+                    raise ConfigurationError(
+                        f"extension protocol {label!r} runs on the 'cycle' "
+                        f"engine only (bespoke node factory); cell "
+                        f"resolved to {effective_engine!r}"
+                    )
                 for seed in plan.seeds:
                     cells.append(
                         PlanCell(
@@ -759,21 +898,44 @@ def execute_cell(cell: PlanCell) -> RunRecord:
     scale, engine, seed -- comes out of the cell, and the engine RNG is
     seeded exactly as an in-process run would seed it.
     """
+    from repro.extensions.registry import (
+        extension_protocol,
+        is_extension_protocol,
+    )
+
     scale = cell.resolve_scale()
     spec = ScenarioSpec.from_dict(cell.scenario)
-    config = ProtocolConfig.from_label(
-        cell.protocol, view_size=scale.view_size
-    )
     started = time.perf_counter()
-    runtime = prepare_run(
-        spec,
-        config,
-        scale=scale,
-        seed=cell.seed,
-        engine=cell.engine,
-        n_nodes=cell.n_nodes,
-        cycles=cell.cycles,
-    )
+    if is_extension_protocol(cell.protocol):
+        # A registry name: the cell runs a bespoke node factory on the
+        # plain cycle engine instead of a generic ProtocolConfig.
+        entry = extension_protocol(cell.protocol)
+        ext_config = entry.make_config(scale.view_size)
+        runtime = prepare_run(
+            spec,
+            None,
+            scale=scale,
+            seed=cell.seed,
+            engine=cell.engine,
+            n_nodes=cell.n_nodes,
+            cycles=cell.cycles,
+            node_factory=entry.make_factory(ext_config),
+        )
+        protocol_label = ext_config.label
+    else:
+        config = ProtocolConfig.from_label(
+            cell.protocol, view_size=scale.view_size
+        )
+        runtime = prepare_run(
+            spec,
+            config,
+            scale=scale,
+            seed=cell.seed,
+            engine=cell.engine,
+            n_nodes=cell.n_nodes,
+            cycles=cell.cycles,
+        )
+        protocol_label = config.label
     extractors = {
         name: MEASUREMENTS[name].setup(runtime, scale)
         for name in cell.measurements
@@ -781,7 +943,7 @@ def execute_cell(cell: PlanCell) -> RunRecord:
     runtime.run_to_end()
     return RunRecord(
         scenario=spec.name,
-        protocol=config.label,
+        protocol=protocol_label,
         scale=cell.scale_name,
         engine=cell.engine,
         engine_requested=cell.engine_requested,

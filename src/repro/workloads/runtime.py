@@ -229,6 +229,10 @@ class ScenarioRuntime:
     trace:
         The merged, time-sorted churn-trace timeline (empty without
         ``churn-trace`` events).
+    adversary:
+        The :class:`~repro.adversary.harness.AdversaryHandle` of the
+        spec's ``adversary`` block (resolved attacker/victim placement),
+        or ``None`` -- what the attack measurements read.
     """
 
     def __init__(
@@ -262,6 +266,7 @@ class ScenarioRuntime:
         # scaled by the engine's period on the way in.
         self._period = float(getattr(engine, "period", 1.0))
         self._clock_ticks = 0
+        self.adversary = None
 
     # -- observer plumbing -------------------------------------------------
 
@@ -425,6 +430,13 @@ def compile_scenario(
             engine, resolved_nodes, view_fill=spec.view_fill
         )
     # "empty": nothing -- the grow event populates the overlay.
+    # 1b. adversary placement binds to the bootstrap population, before
+    #     any event observer runs (spec validation guarantees a non-empty
+    #     bootstrap whenever an adversary block is present).
+    if spec.adversary is not None:
+        from repro.adversary.harness import install_adversary
+
+        runtime.adversary = install_adversary(runtime)
     # 2. integer-cycle events become observers: grow/failure/churn in
     #    declaration order, then the time-paired partitions.
     trace_index = 0

@@ -46,8 +46,10 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
 from repro.core.errors import ConfigurationError
 
 __all__ = [
+    "ADVERSARY_KINDS",
     "BOOTSTRAP_KINDS",
     "EVENT_KINDS",
+    "AdversarySpec",
     "CatastrophicFailure",
     "ChurnTrace",
     "ContinuousChurn",
@@ -290,6 +292,153 @@ EVENT_KINDS: Dict[str, Type[ScenarioEvent]] = {
 """Registry of schedule event kinds, keyed by their wire name."""
 
 
+ADVERSARY_KINDS = ("hub", "eclipse", "tamper", "drop")
+"""Byzantine behaviors :mod:`repro.adversary` can inject: ``hub``
+(over-advertise the attacker with fresh timestamps in every exchange),
+``eclipse`` (answer a victim set's pulls with attacker-only
+descriptors), ``tamper`` (zero the timestamps of honestly exchanged
+buffers) and ``drop`` (silently swallow exchanged buffers)."""
+
+
+_ADVERSARY_FIELDS = (
+    "kind",
+    "fraction",
+    "attackers",
+    "victims",
+    "start_cycle",
+    "stop_cycle",
+    "placement_seed",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AdversarySpec:
+    """The ``adversary`` block of a scenario: who misbehaves, how, when.
+
+    Attackers are either a seeded ``fraction`` of the bootstrap
+    population (placed deterministically from ``placement_seed``,
+    independent of engine and run seed) or an explicit tuple of
+    bootstrap indices -- the two are mutually exclusive.  ``victims``
+    (bootstrap indices, eclipse only) name the nodes whose pulls are
+    answered with attacker-only descriptors.  The attack is active for
+    cycles ``start_cycle <= cycle < stop_cycle`` (``stop_cycle=None`` =
+    to the end of the run); outside the window attackers behave
+    honestly, so a demo can show the healer flushing the poison out.
+
+    A ``fraction`` of 0.0 with no explicit attackers is a valid no-op:
+    the run is byte-identical to the same spec without an adversary
+    block, which keeps ``f = 0`` sweep cells honest baselines.
+    """
+
+    kind: str = "hub"
+    fraction: float = 0.0
+    attackers: Tuple[int, ...] = ()
+    victims: Tuple[int, ...] = ()
+    start_cycle: int = 0
+    stop_cycle: Optional[int] = None
+    placement_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in ADVERSARY_KINDS,
+            f"unknown adversary kind {self.kind!r}; choose from "
+            f"{list(ADVERSARY_KINDS)}",
+        )
+        _check_number(self.fraction, "adversary.fraction", 0.0, 1.0)
+        object.__setattr__(self, "attackers", tuple(self.attackers))
+        object.__setattr__(self, "victims", tuple(self.victims))
+        for index in self.attackers:
+            _check_int(index, "adversary.attackers entries")
+        for index in self.victims:
+            _check_int(index, "adversary.victims entries")
+        _require(
+            len(set(self.attackers)) == len(self.attackers),
+            f"adversary.attackers contains duplicates: {self.attackers}",
+        )
+        _require(
+            len(set(self.victims)) == len(self.victims),
+            f"adversary.victims contains duplicates: {self.victims}",
+        )
+        _require(
+            not (self.fraction > 0.0 and self.attackers),
+            "adversary.fraction and adversary.attackers are mutually "
+            "exclusive; give a seeded fraction or explicit indices, "
+            "not both",
+        )
+        overlap = sorted(set(self.attackers) & set(self.victims))
+        _require(
+            not overlap,
+            f"adversary.victims overlap the attackers at indices {overlap}",
+        )
+        if self.kind == "eclipse":
+            _require(
+                bool(self.victims),
+                "an 'eclipse' adversary needs a non-empty victims tuple",
+            )
+        else:
+            _require(
+                not self.victims,
+                f"adversary.victims only applies to kind 'eclipse', "
+                f"got kind {self.kind!r}",
+            )
+        _check_int(self.start_cycle, "adversary.start_cycle")
+        if self.stop_cycle is not None:
+            _check_int(self.stop_cycle, "adversary.stop_cycle")
+            _require(
+                self.stop_cycle > self.start_cycle,
+                f"adversary.stop_cycle ({self.stop_cycle}) must be > "
+                f"start_cycle ({self.start_cycle})",
+            )
+        _check_int(self.placement_seed, "adversary.placement_seed")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (``None``/empty fields omitted)."""
+        payload: Dict[str, Any] = {"kind": self.kind}
+        if self.fraction:
+            payload["fraction"] = self.fraction
+        if self.attackers:
+            payload["attackers"] = list(self.attackers)
+        if self.victims:
+            payload["victims"] = list(self.victims)
+        if self.start_cycle:
+            payload["start_cycle"] = self.start_cycle
+        if self.stop_cycle is not None:
+            payload["stop_cycle"] = self.stop_cycle
+        if self.placement_seed:
+            payload["placement_seed"] = self.placement_seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AdversarySpec":
+        """Parse a mapping; unknown keys raise eagerly."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"adversary block must be a mapping, got {payload!r}"
+            )
+        unknown = sorted(set(payload) - set(_ADVERSARY_FIELDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown adversary field(s) {unknown}; valid fields: "
+                f"{sorted(_ADVERSARY_FIELDS)}"
+            )
+        kwargs: Dict[str, Any] = dict(payload)
+        for key in ("attackers", "victims"):
+            if key in kwargs:
+                if not isinstance(kwargs[key], (list, tuple)):
+                    raise ConfigurationError(
+                        f"adversary.{key} must be a list, got "
+                        f"{kwargs[key]!r}"
+                    )
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    def replace(self, **changes: Any) -> "AdversarySpec":
+        """A copy of this block with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
 _SPEC_FIELDS = (
     "name",
     "bootstrap",
@@ -298,6 +447,7 @@ _SPEC_FIELDS = (
     "view_fill",
     "latency",
     "loss",
+    "adversary",
     "description",
 )
 
@@ -325,6 +475,13 @@ class ScenarioSpec:
         engine is a :class:`~repro.core.errors.ConfigurationError` --
         the same eager rule the experiment runner applies to its
         ``--latency`` / ``--loss`` flags.
+    adversary:
+        Optional :class:`AdversarySpec` Byzantine block: a deterministic
+        subset of the bootstrap population misbehaves (hub poisoning,
+        eclipse, tampering, dropping) for a window of cycles.  Placement
+        indices are defined over the bootstrap population, so an
+        ``empty`` bootstrap cannot carry an adversary block.  Supported
+        by the cycle-family engines (``cycle``, ``fast``, ``live``).
     description:
         Optional human-readable summary (shown by ``list-scenarios``).
     """
@@ -336,6 +493,7 @@ class ScenarioSpec:
     view_fill: Optional[int] = None
     latency: Optional[float] = None
     loss: Optional[float] = None
+    adversary: Optional[AdversarySpec] = None
     description: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -362,6 +520,16 @@ class ScenarioSpec:
             _check_number(self.latency, "latency", 0.0)
         if self.loss is not None:
             _check_number(self.loss, "loss", 0.0, 1.0)
+        if self.adversary is not None:
+            _require(
+                isinstance(self.adversary, AdversarySpec),
+                f"adversary must be an AdversarySpec, got {self.adversary!r}",
+            )
+            _require(
+                self.bootstrap != "empty",
+                "an adversary block places attackers over the bootstrap "
+                "population; an 'empty' bootstrap has none",
+            )
         self._check_partitions()
         if self.bootstrap == "empty":
             _require(
@@ -417,6 +585,8 @@ class ScenarioSpec:
             value = getattr(self, key)
             if value is not None:
                 payload[key] = value
+        if self.adversary is not None:
+            payload["adversary"] = self.adversary.to_dict()
         return payload
 
     @classmethod
@@ -441,9 +611,12 @@ class ScenarioSpec:
         kwargs = {
             key: payload[key]
             for key in _SPEC_FIELDS
-            if key != "events" and key in payload
+            if key not in ("events", "adversary") and key in payload
         }
-        return cls(events=events, **kwargs)
+        adversary = None
+        if payload.get("adversary") is not None:
+            adversary = AdversarySpec.from_dict(payload["adversary"])
+        return cls(events=events, adversary=adversary, **kwargs)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialize to a JSON document."""

@@ -1,0 +1,97 @@
+"""AdversarySpec vocabulary: eager validation and JSON round-trips."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.workloads import (
+    ADVERSARY_KINDS,
+    AdversarySpec,
+    ScenarioSpec,
+)
+
+
+class TestValidation:
+    def test_all_kinds_construct(self):
+        for kind in ADVERSARY_KINDS:
+            victims = (1, 2) if kind == "eclipse" else ()
+            spec = AdversarySpec(kind=kind, fraction=0.1, victims=victims)
+            assert spec.kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            AdversarySpec(kind="sybil")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            AdversarySpec(fraction=1.5)
+        assert AdversarySpec(fraction=1.0).fraction == 1.0
+
+    def test_fraction_and_explicit_attackers_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually"):
+            AdversarySpec(fraction=0.1, attackers=(0, 1))
+
+    def test_duplicate_indices(self):
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            AdversarySpec(attackers=(3, 3))
+        with pytest.raises(ConfigurationError, match="duplicates"):
+            AdversarySpec(kind="eclipse", victims=(4, 4))
+
+    def test_victims_require_eclipse(self):
+        with pytest.raises(ConfigurationError, match="eclipse"):
+            AdversarySpec(kind="hub", victims=(1,))
+        with pytest.raises(ConfigurationError, match="victims"):
+            AdversarySpec(kind="eclipse")
+
+    def test_attacker_victim_overlap(self):
+        with pytest.raises(ConfigurationError, match="overlap"):
+            AdversarySpec(kind="eclipse", attackers=(1, 2), victims=(2, 3))
+
+    def test_window_ordering(self):
+        with pytest.raises(ConfigurationError, match="stop_cycle"):
+            AdversarySpec(start_cycle=5, stop_cycle=5)
+        spec = AdversarySpec(start_cycle=5, stop_cycle=9)
+        assert (spec.start_cycle, spec.stop_cycle) == (5, 9)
+
+    def test_replace_revalidates(self):
+        spec = AdversarySpec(kind="hub", fraction=0.1)
+        assert spec.replace(fraction=0.2).fraction == 0.2
+        with pytest.raises(ConfigurationError):
+            spec.replace(fraction=2.0)
+
+
+class TestSerialization:
+    def test_round_trip_minimal(self):
+        spec = AdversarySpec(kind="hub", fraction=0.05)
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_full(self):
+        spec = AdversarySpec(
+            kind="eclipse",
+            attackers=(0, 7),
+            victims=(3, 4),
+            start_cycle=2,
+            stop_cycle=20,
+            placement_seed=13,
+        )
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary"):
+            AdversarySpec.from_dict({"kind": "hub", "strength": 11})
+
+    def test_scenario_spec_json_round_trip(self):
+        spec = ScenarioSpec(
+            name="attacked",
+            bootstrap="random",
+            cycles=30,
+            adversary=AdversarySpec(kind="drop", fraction=0.1),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.adversary == spec.adversary
+
+    def test_scenario_spec_without_adversary_omits_block(self):
+        payload = ScenarioSpec(name="honest").to_dict()
+        assert "adversary" not in payload

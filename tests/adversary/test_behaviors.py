@@ -1,0 +1,155 @@
+"""Unit semantics of the AdversarialNode wrapper, one kind at a time."""
+
+import random
+
+import pytest
+
+from repro.adversary import AdversarialNode, AdversaryState
+from repro.core.config import ProtocolConfig
+from repro.core.descriptor import NodeDescriptor
+from repro.core.protocol import GossipNode
+from repro.workloads import AdversarySpec
+
+
+def make_state(kind, attackers=("atk0", "atk1"), victims=(), active=True,
+               view_size=4):
+    # Spec indices are irrelevant here: behaviors only read spec.kind and
+    # the resolved address tuples passed alongside.
+    spec = AdversarySpec(
+        kind=kind,
+        attackers=(0,),
+        victims=(1,) if kind == "eclipse" else (),
+    )
+    state = AdversaryState(
+        spec,
+        attackers,
+        victims,
+        rng=random.Random(7),
+        is_alive=lambda address: True,
+        view_size=view_size,
+    )
+    state.active = active
+    return state
+
+
+def make_wrapped(kind, label="(rand,head,pushpull)", seed=3, **state_kwargs):
+    config = ProtocolConfig.from_label(label, 4)
+    inner = GossipNode("atk0", config, random.Random(seed))
+    inner.view.replace(
+        [NodeDescriptor("a", 2), NodeDescriptor("b", 5), NodeDescriptor("c", 1)]
+    )
+    state = make_state(kind, **state_kwargs)
+    return AdversarialNode(inner, state), inner, state
+
+
+class TestTransparency:
+    def test_delegates_attributes(self):
+        node, inner, _ = make_wrapped("hub")
+        assert node.address == "atk0"
+        assert node.view is inner.view
+        assert node.config is inner.config
+
+    def test_forwards_attribute_writes(self):
+        node, inner, _ = make_wrapped("hub")
+        node.liveness = "oracle"
+        assert inner.liveness == "oracle"
+
+    def test_inactive_is_honest(self):
+        node, _, _ = make_wrapped("hub", active=False)
+        honest, _, _ = make_wrapped("hub", active=False)
+        exchange = node.begin_exchange()
+        reference = honest.inner.begin_exchange()
+        assert exchange.peer == reference.peer
+        assert exchange.payload == reference.payload
+
+
+class TestHub:
+    def test_request_is_poisoned_attacker_set(self):
+        node, _, _ = make_wrapped("hub")
+        exchange = node.begin_exchange()
+        assert [d.address for d in exchange.payload] == ["atk0", "atk1"]
+        assert all(d.hop_count == 0 for d in exchange.payload)
+
+    def test_reply_is_poisoned(self):
+        node, _, _ = make_wrapped("hub")
+        reply = node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        assert [d.address for d in reply] == ["atk0", "atk1"]
+
+    def test_poison_payloads_are_fresh_objects(self):
+        node, _, state = make_wrapped("hub")
+        first = node.begin_exchange().payload
+        second = node.begin_exchange().payload
+        assert first is not second and first[0] is not second[0]
+
+    def test_advert_capped_at_honest_buffer_size(self):
+        attackers = tuple(f"atk{i}" for i in range(20))
+        state = make_state("hub", attackers=attackers, view_size=4)
+        assert len(state.poison_payload("atk0")) == 5  # view_size + 1
+
+    def test_honest_request_still_merged(self):
+        node, inner, _ = make_wrapped("hub")
+        node.handle_request("fresh", [NodeDescriptor("fresh", 0)])
+        assert "fresh" in inner.view
+
+
+class TestEclipse:
+    def test_retargets_live_victim(self):
+        node, _, state = make_wrapped(
+            "eclipse", victims=("vic0", "vic1")
+        )
+        exchange = node.begin_exchange()
+        assert exchange.peer in {"vic0", "vic1"}
+        assert [d.address for d in exchange.payload] == ["atk0", "atk1"]
+
+    def test_no_live_victim_keeps_honest_peer(self):
+        node, _, state = make_wrapped("eclipse", victims=("vic0",))
+        state.is_alive = lambda address: not address.startswith("vic")
+        exchange = node.begin_exchange()
+        assert exchange.peer in {"a", "b", "c"}
+
+    def test_only_victims_get_poisoned_replies(self):
+        node, _, _ = make_wrapped("eclipse", victims=("vic0",))
+        poisoned = node.handle_request("vic0", [NodeDescriptor("vic0", 0)])
+        honest = node.handle_request("other", [NodeDescriptor("other", 0)])
+        assert [d.address for d in poisoned] == ["atk0", "atk1"]
+        assert [d.address for d in honest] != ["atk0", "atk1"]
+
+
+class TestTamper:
+    def test_request_membership_kept_hops_zeroed(self):
+        node, inner, _ = make_wrapped("tamper")
+        honest, _, _ = make_wrapped("tamper", active=False)
+        exchange = node.begin_exchange()
+        reference = honest.inner.begin_exchange()
+        assert [d.address for d in exchange.payload] == [
+            d.address for d in reference.payload
+        ]
+        assert all(d.hop_count == 0 for d in exchange.payload)
+
+    def test_reply_hops_zeroed(self):
+        node, _, _ = make_wrapped("tamper")
+        reply = node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        assert all(d.hop_count == 0 for d in reply)
+
+
+class TestDrop:
+    def test_request_withheld(self):
+        node, _, _ = make_wrapped("drop")
+        exchange = node.begin_exchange()
+        assert exchange.payload == []
+        assert exchange.peer in {"a", "b", "c"}
+
+    def test_response_discarded(self):
+        node, inner, _ = make_wrapped("drop")
+        node.handle_response("peer", [NodeDescriptor("fresh", 0)])
+        assert "fresh" not in inner.view
+
+    def test_request_swallowed_but_pull_answered_empty(self):
+        node, inner, _ = make_wrapped("drop")
+        reply = node.handle_request("peer", [NodeDescriptor("fresh", 0)])
+        assert reply == []
+        assert "fresh" not in inner.view
+
+    def test_push_only_drop_returns_none(self):
+        node, _, _ = make_wrapped("drop", label="(rand,head,push)")
+        assert node.handle_request("peer", [NodeDescriptor("x", 0)]) is None

@@ -1,0 +1,106 @@
+"""Extension protocols addressable from experiment plans by name."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.extensions.cyclon import CyclonConfig, CyclonNode
+from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode
+from repro.extensions.registry import (
+    EXTENSION_PROTOCOLS,
+    extension_protocol,
+    is_extension_protocol,
+)
+from repro.workloads import ExperimentPlan, run_plan
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert set(EXTENSION_PROTOCOLS) == {"cyclon", "peerswap"}
+
+    def test_lookup_is_case_and_whitespace_insensitive(self):
+        assert is_extension_protocol(" Cyclon ")
+        assert extension_protocol("PEERSWAP").name == "peerswap"
+
+    def test_generic_labels_are_not_extensions(self):
+        assert not is_extension_protocol("(rand,head,pushpull)")
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown extension"):
+            extension_protocol("scamp")
+
+    def test_configs_scale_with_view_size(self):
+        cyclon = EXTENSION_PROTOCOLS["cyclon"].make_config(30)
+        assert isinstance(cyclon, CyclonConfig)
+        assert (cyclon.view_size, cyclon.shuffle_length) == (30, 8)
+        small = EXTENSION_PROTOCOLS["peerswap"].make_config(4)
+        assert isinstance(small, PeerSwapConfig)
+        assert (small.view_size, small.swap_size) == (4, 4)
+
+    def test_factories_build_nodes(self):
+        import random
+
+        for name, node_type in (
+            ("cyclon", CyclonNode),
+            ("peerswap", PeerSwapNode),
+        ):
+            entry = EXTENSION_PROTOCOLS[name]
+            config = entry.make_config(8)
+            node = entry.make_factory(config)("n0", random.Random(0))
+            assert isinstance(node, node_type)
+            assert node.address == "n0"
+
+
+class TestPlanAddressability:
+    def plan(self, protocol, engine="cycle"):
+        return ExperimentPlan(
+            name=f"ext-{protocol}",
+            scenario="random-convergence",
+            protocols=(protocol,),
+            scales=("quick",),
+            engines=(engine,),
+            seeds=(3,),
+            measurements=("degrees",),
+            n_nodes=40,
+            cycles=10,
+        )
+
+    @pytest.mark.parametrize("protocol", ("cyclon", "peerswap"))
+    def test_extension_cell_runs_and_reports_canonical_label(self, protocol):
+        result = run_plan(self.plan(protocol))
+        (record,) = result.records
+        assert record.protocol.startswith(f"{protocol}(")
+        assert record.measurements["degrees"]["mean"] > 0
+
+    def test_extension_requires_cycle_engine(self):
+        with pytest.raises(ConfigurationError, match="cycle"):
+            run_plan(self.plan("cyclon", engine="fast"))
+
+    def test_adversary_plus_extension_is_deterministic(self):
+        from repro.workloads import AdversarySpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cyclon-hub",
+            bootstrap="random",
+            cycles=10,
+            adversary=AdversarySpec(kind="hub", fraction=0.1),
+        )
+        plan = ExperimentPlan(
+            name="ext-attack",
+            scenario=spec,
+            protocols=("cyclon",),
+            scales=("quick",),
+            engines=("cycle",),
+            seeds=(3,),
+            measurements=("indegree-concentration",),
+            n_nodes=40,
+            cycles=10,
+        )
+        first = run_plan(plan).records[0]
+        second = run_plan(plan).records[0]
+        assert first.views_digest == second.views_digest
+        assert (
+            first.measurements == second.measurements
+        )
+        assert first.measurements["indegree-concentration"][
+            "attacker_share"
+        ] > 0

@@ -1,0 +1,147 @@
+"""Unit and behavioural tests for the PeerSwap extension."""
+
+import random
+
+import pytest
+
+from repro.core.descriptor import NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.extensions.peerswap import (
+    PeerSwapConfig,
+    PeerSwapNode,
+    peerswap_engine,
+)
+from repro.graph.components import is_connected
+from repro.graph.snapshot import GraphSnapshot
+from repro.simulation.scenarios import random_bootstrap
+
+
+def make_node(address="me", c=6, k=3, seed=0):
+    return PeerSwapNode(address, PeerSwapConfig(c, k), random.Random(seed))
+
+
+class TestPeerSwapConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeerSwapConfig(view_size=0)
+        with pytest.raises(ConfigurationError):
+            PeerSwapConfig(view_size=5, swap_size=6)
+        with pytest.raises(ConfigurationError):
+            PeerSwapConfig(view_size=5, swap_size=0)
+
+    def test_label(self):
+        assert PeerSwapConfig(30, 8).label == "peerswap(c=30,k=8)"
+
+
+class TestPeerSwapNode:
+    def test_begin_exchange_empty_view(self):
+        assert make_node().begin_exchange() is None
+
+    def test_begin_exchange_removes_sent_subset(self):
+        node = make_node(c=6, k=3)
+        node.view.replace(
+            [NodeDescriptor(f"n{i}", i) for i in range(6)]
+        )
+        exchange = node.begin_exchange()
+        sent = {d.address for d in exchange.payload} - {"me"}
+        assert len(sent) == 3
+        for address in sent:
+            assert address not in node.view
+        assert exchange.peer not in sent
+
+    def test_request_leads_with_fresh_self_descriptor(self):
+        node = make_node()
+        node.view.replace([NodeDescriptor("a", 4)])
+        exchange = node.begin_exchange()
+        assert exchange.payload[0] == NodeDescriptor("me", 0)
+
+    def test_handle_request_swaps_equal_subsets(self):
+        node = make_node(c=6, k=3)
+        node.view.replace([NodeDescriptor(f"n{i}", i) for i in range(6)])
+        incoming = [NodeDescriptor("peer", 0), NodeDescriptor("x", 2)]
+        reply = node.handle_request("peer", incoming)
+        assert reply[0] == NodeDescriptor("me", 0)
+        assert len(reply) == 4  # self + swap_size removed entries
+        assert "x" in node.view  # received entry installed in a free slot
+        replied = {d.address for d in reply} - {"me"}
+        for address in replied:
+            assert address not in node.view
+
+    def test_reply_never_contains_requester(self):
+        node = make_node(c=4, k=3)
+        node.view.replace(
+            [NodeDescriptor("peer", 1), NodeDescriptor("a", 2),
+             NodeDescriptor("b", 3)]
+        )
+        reply = node.handle_request("peer", [NodeDescriptor("peer", 0)])
+        assert "peer" not in {d.address for d in reply}
+
+    def test_integrate_skips_self_and_duplicates(self):
+        node = make_node(c=4)
+        node.view.replace([NodeDescriptor("a", 1)])
+        node.handle_response(
+            "peer",
+            [NodeDescriptor("me", 0), NodeDescriptor("a", 9),
+             NodeDescriptor("b", 2)],
+        )
+        assert len(node.view) == 2  # a kept once, b added, self skipped
+        assert node.view.descriptor_for("a").hop_count == 1
+
+    def test_sample_peer(self):
+        node = make_node()
+        assert node.sample_peer() is None
+        node.view.replace([NodeDescriptor("a", 1)])
+        assert node.sample_peer() == "a"
+
+
+class TestPointerConservation:
+    def test_exchange_conserves_global_pointer_multiset(self):
+        # One free slot per view: the self-descriptor each side injects
+        # then never crowds out a swapped pointer (a *full* view drops
+        # the overflow -- conservation is approximate there, exact here).
+        rng = random.Random(1)
+        a = PeerSwapNode("a", PeerSwapConfig(6, 3), rng)
+        b = PeerSwapNode("b", PeerSwapConfig(6, 3), rng)
+        a.view.replace([NodeDescriptor(f"x{i}", i) for i in range(5)])
+        b.view.replace([NodeDescriptor(f"y{i}", i) for i in range(5)])
+
+        def pointers():
+            held = []
+            for node in (a, b):
+                held.extend(d.address for d in node.view)
+                for sent in node._sent.values():
+                    held.extend(d.address for d in sent)
+            return sorted(p for p in held if p not in ("a", "b"))
+
+        before = pointers()
+        exchange = a.begin_exchange()
+        # The drawn partner is an x-placeholder with no node object; this
+        # test delivers the request to b instead, so re-key the in-flight
+        # record to match where the subset actually went.
+        a._sent["b"] = a._sent.pop(exchange.peer)
+        reply = b.handle_request("a", exchange.payload)
+        a.handle_response("b", reply)
+        after = pointers()
+        assert after == before
+
+    def test_engine_run_keeps_overlay_connected(self):
+        engine = peerswap_engine(PeerSwapConfig(8, 4), seed=3)
+        random_bootstrap(engine, 60, view_fill=8)
+        engine.run(30)
+        snapshot = GraphSnapshot.from_engine(engine)
+        assert is_connected(snapshot)
+
+    def test_engine_runs_deterministically(self):
+        def digest():
+            engine = peerswap_engine(PeerSwapConfig(8, 4), seed=3)
+            random_bootstrap(engine, 40, view_fill=8)
+            engine.run(20)
+            return {
+                address: tuple(
+                    (d.address, d.hop_count)
+                    for d in engine.node(address).view
+                )
+                for address in engine.addresses()
+            }
+
+        assert digest() == digest()

@@ -128,6 +128,66 @@ class TestRepeatProbability:
             repeat_probability(_FixedService("a"), 1)
 
 
+class TestDegenerateInputGuards:
+    """Regression tests: degenerate inputs fail eagerly, not mid-sweep."""
+
+    def test_sample_frequencies_rejects_zero_calls(self):
+        with pytest.raises(ValueError, match="calls_per_service"):
+            sample_frequencies([_FixedService("a")], 0)
+        with pytest.raises(ValueError, match="calls_per_service"):
+            sample_frequencies([], -3)
+
+    def test_repeat_probability_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="window"):
+            repeat_probability(_FixedService("a"), 10, window=0)
+
+    def test_evaluate_rejects_empty_service_mapping(self):
+        with pytest.raises(ValueError, match="at least one service"):
+            evaluate_sampling_quality({})
+
+    def test_evaluate_rejects_single_node_population(self):
+        with pytest.raises(ValueError, match="single-node"):
+            evaluate_sampling_quality({"only": _FixedService("only")})
+
+    def test_two_services_are_accepted(self):
+        services = {
+            "a": _FixedService("b"),
+            "b": _FixedService("a"),
+        }
+        report = evaluate_sampling_quality(services, calls_per_service=5)
+        assert report.n_population == 2
+        assert report.coverage == 1.0
+
+
+class TestCrossEngineAgreement:
+    def test_honest_tv_and_chi_square_identical_on_cycle_and_fast(self):
+        # The sampling-distance numbers the attack artefact reports must
+        # not depend on which cycle-family engine ran the overlay: same
+        # seed, same final views, same post-run get_peer draw sequence.
+        from repro.experiments.common import make_engine
+        from repro.services import sampling_services
+
+        def distances(engine_name):
+            engine = make_engine(
+                newscast(view_size=8), seed=4, engine=engine_name
+            )
+            random_bootstrap(engine, 80)
+            engine.run(20)
+            services = sampling_services(engine)
+            counts = sample_frequencies(
+                list(services.values()), calls_per_service=15
+            )
+            population = engine.addresses()
+            return (
+                total_variation_from_uniform(counts, population),
+                chi_square_uniformity(counts, population),
+            )
+
+        cycle = distances("cycle")
+        fast = distances("fast")
+        assert cycle == fast
+
+
 class TestEndToEnd:
     def test_oracle_sampling_is_nearly_uniform(self):
         group = OracleGroup(seed=1)
