@@ -81,7 +81,7 @@ from repro.workloads import (
     run_plans,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "ALL_PROTOCOLS",

@@ -15,9 +15,11 @@ the honest protocol code:
   buffers);
 - :mod:`repro.adversary.harness` -- deterministic attacker placement
   (seeded fraction or explicit targets) and the per-engine installers:
-  node wrapping on :class:`~repro.simulation.engine.CycleEngine` and
-  :class:`~repro.net.engine.LiveEngine`, a draw-for-draw adversarial
-  cycle loop on :class:`~repro.simulation.fast.FastCycleEngine`, and a
+  node wrapping on :class:`~repro.simulation.engine.CycleEngine`,
+  :class:`~repro.simulation.event_engine.EventEngine` and
+  :class:`~repro.net.engine.LiveEngine`, draw-for-draw adversarial
+  loops on :class:`~repro.simulation.fast.FastCycleEngine` and
+  :class:`~repro.simulation.fast_event.FastEventEngine`, and a
   wire-level :class:`~repro.adversary.harness.NetworkInterceptor` for
   the loopback transport.
 
@@ -28,8 +30,9 @@ by the ``indegree-concentration``, ``eclipse-exposure`` and
 experiment artefact.
 
 Determinism contract: given one spec, seed and placement, a run is
-byte-identical across the ``cycle``, ``fast`` and ``live`` engines --
-the adversarial paths consume the engine RNG in exactly the order the
+byte-identical across the ``cycle``, ``fast`` and ``live`` engines and,
+separately, across the ``event`` and ``fast-event`` engines -- the
+adversarial paths consume the engine RNG in exactly the order the
 honest paths do (pinned by ``tests/adversary/``).
 """
 
@@ -39,6 +42,7 @@ from repro.adversary.harness import (
     AdversaryHandle,
     AttackWindow,
     FastAdversary,
+    FastEventAdversary,
     NetworkInterceptor,
     install_adversary,
     intercept_network,
@@ -52,6 +56,7 @@ __all__ = [
     "AdversaryState",
     "AttackWindow",
     "FastAdversary",
+    "FastEventAdversary",
     "NetworkInterceptor",
     "install_adversary",
     "intercept_network",

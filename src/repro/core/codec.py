@@ -17,6 +17,13 @@ accepts both formats transparently and can answer in whichever version the
 request used -- that is the whole version-negotiation scheme: *reply in the
 version you were asked in* (see ``GossipDaemon``).
 
+Either format can additionally be wrapped in a **signed frame** (magic
+byte :data:`SIGNED_MAGIC` + truncated HMAC-SHA256 tag + inner frame;
+:func:`encode_signed_message` / :func:`decode_signed_frame`) when a
+deployment shares a pre-distributed symmetric key -- the keyed daemon
+drops unsigned and unverifiable datagrams, which shuts wire-level
+descriptor forgery out entirely.
+
 Addresses are serialized as-is when they are wire-native (str/int);
 unsupported address types raise :class:`CodecError` rather than silently
 producing undecodable bytes.  Size limits are enforced symmetrically: an
@@ -26,6 +33,8 @@ well as on decode.
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import struct
 from typing import List, NamedTuple, Tuple
@@ -67,6 +76,14 @@ _INT64_MAX = (1 << 63) - 1
 
 class CodecError(ReproError):
     """A message could not be encoded or decoded."""
+
+
+class AuthenticationError(CodecError):
+    """A signed frame failed authentication (bad or truncated tag).
+
+    Distinct from plain :class:`CodecError` so receivers can count
+    authentication failures separately from garbled frames -- the former
+    are a security signal, the latter usually just noise."""
 
 
 def _check_address(address: Address) -> Address:
@@ -198,6 +215,84 @@ def _decode_v2(data: bytes) -> List[NodeDescriptor]:
     return descriptors
 
 
+# -- signed frames: HMAC-wrapped v1/v2 ---------------------------------------
+#
+# A signed frame is one byte of magic, a truncated HMAC-SHA256 tag over
+# the inner frame, then an ordinary v1/v2 gossip frame.  The signature
+# wraps the *transport bytes* only: protocol state and RNG consumption
+# are untouched, which is what keeps a keyed live run byte-identical to
+# the unkeyed one (and to the cycle engines).
+
+SIGNED_MAGIC = 0x9E
+"""First byte of every signed frame.
+
+Outside printable ASCII, invalid as a UTF-8 start byte, and distinct
+from :data:`V2_MAGIC` and :data:`CONTROL_MAGIC`, so all four frame
+families are mutually unmistakable from their first byte."""
+
+SIGNATURE_BYTES = 16
+"""Truncated HMAC-SHA256 tag length.  128 bits of MAC strength -- far
+beyond what a gossip overlay needs to reject forged descriptors."""
+
+_SIGNED_OVERHEAD = 1 + SIGNATURE_BYTES
+
+
+def _signature(key: bytes, inner: bytes) -> bytes:
+    return hmac.new(key, inner, hashlib.sha256).digest()[:SIGNATURE_BYTES]
+
+
+def is_signed_frame(data: bytes) -> bool:
+    """Whether ``data`` starts like a signed frame (cheap demux check)."""
+    return len(data) > 0 and data[0] == SIGNED_MAGIC
+
+
+def encode_signed_message(
+    descriptors: List[NodeDescriptor],
+    key: bytes,
+    version: int = WIRE_FORMAT_VERSION,
+) -> bytes:
+    """A view message wrapped in a truncated HMAC-SHA256 signature.
+
+    The inner frame is exactly what :func:`encode_message` produces for
+    the same arguments; signing is deterministic and draw-free.
+    """
+    if not isinstance(key, (bytes, bytearray)) or not key:
+        raise CodecError("signing key must be non-empty bytes")
+    inner = encode_message(descriptors, version=version)
+    frame = bytes((SIGNED_MAGIC,)) + _signature(bytes(key), inner) + inner
+    if len(frame) > MAX_MESSAGE_BYTES:
+        raise CodecError(
+            f"signed message of {len(frame)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    return frame
+
+
+def decode_signed_frame(
+    data: bytes, key: bytes
+) -> Tuple[int, List[NodeDescriptor]]:
+    """Verify and decode a signed frame; return ``(inner_version, view)``.
+
+    Raises :class:`AuthenticationError` when the frame is not signed at
+    all, is too short to carry a tag, or its tag does not verify
+    (constant-time comparison); inner-frame defects raise plain
+    :class:`CodecError` like :func:`decode_frame` would.
+    """
+    if not isinstance(key, (bytes, bytearray)) or not key:
+        raise CodecError("verification key must be non-empty bytes")
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise CodecError(f"message of {len(data)} bytes exceeds the limit")
+    if not data or data[0] != SIGNED_MAGIC:
+        raise AuthenticationError("frame is not signed")
+    if len(data) < _SIGNED_OVERHEAD + 1:
+        raise AuthenticationError("signed frame too short to verify")
+    tag = bytes(data[1:_SIGNED_OVERHEAD])
+    inner = bytes(data[_SIGNED_OVERHEAD:])
+    if not hmac.compare_digest(tag, _signature(bytes(key), inner)):
+        raise AuthenticationError("signed frame failed verification")
+    return decode_frame(inner)
+
+
 # -- public entry points -----------------------------------------------------
 
 
@@ -240,6 +335,13 @@ def decode_frame(data: bytes) -> Tuple[int, List[NodeDescriptor]]:
         raise CodecError("empty message")
     if data[0] == V2_MAGIC:
         return WIRE_FORMAT_V2, _decode_v2(data)
+    if data[0] == SIGNED_MAGIC:
+        # An unkeyed receiver cannot verify a signed frame; refusing to
+        # peek inside keeps "drop unverifiable traffic" the only policy.
+        raise CodecError(
+            "signed frame received without a verification key "
+            "(use decode_signed_frame)"
+        )
     return WIRE_FORMAT_VERSION, _decode_v1(data)
 
 

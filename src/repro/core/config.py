@@ -34,7 +34,8 @@ DEFAULT_VIEW_SIZE = 30
 
 _LABEL_RE = re.compile(
     r"^\(?\s*(?P<ps>[a-z]+)\s*,\s*(?P<vs>[a-z]+)\s*,\s*(?P<vp>[a-z-]+)\s*\)?"
-    r"(?:\s*;\s*h(?P<healer>\d+)s(?P<swapper>\d+))?$"
+    r"(?:\s*;\s*h(?P<healer>\d+)s(?P<swapper>\d+))?"
+    r"(?:\s*;\s*(?P<validate>v))?$"
 )
 
 
@@ -69,6 +70,15 @@ class ProtocolConfig:
         *own previous view* -- the entries it just sent to its exchange
         partner, freshest first -- are dropped, biasing the view towards
         received entries ("swap" semantics).  Default 0, see ``healer``.
+    validate_descriptors:
+        If ``True``, received payloads are passed through
+        :func:`repro.defenses.validation.sanitize_payload` between the
+        hop increment and the merge: entries naming the receiver,
+        duplicates, and out-of-range hop counts are dropped, and relayed
+        entries claiming forged hop-0 freshness are floored to hop 2.
+        Honest traffic is unaffected; hub-style poisoning loses its
+        age-race advantage.  Default ``False`` (the paper's node trusts
+        everything).
     """
 
     peer_selection: PeerSelection
@@ -78,6 +88,7 @@ class ProtocolConfig:
     keep_self_descriptors: bool = False
     healer: int = 0
     swapper: int = 0
+    validate_descriptors: bool = False
 
     def __post_init__(self) -> None:
         if self.view_size < 1:
@@ -124,14 +135,17 @@ class ProtocolConfig:
         """The paper's tuple notation, e.g. ``(rand,head,pushpull)``.
 
         Nonzero healer/swapper parameters are appended as ``;H<h>S<s>``
-        (they are not part of the Middleware 2004 design space).
+        and descriptor validation as ``;V`` (neither is part of the
+        Middleware 2004 design space).
         """
         base = (
             f"({self.peer_selection.value},{self.view_selection.value},"
             f"{self.propagation.value})"
         )
         if self.healer or self.swapper:
-            return f"{base};H{self.healer}S{self.swapper}"
+            base = f"{base};H{self.healer}S{self.swapper}"
+        if self.validate_descriptors:
+            base = f"{base};V"
         return base
 
     def replace(self, **changes: object) -> "ProtocolConfig":
@@ -145,12 +159,16 @@ class ProtocolConfig:
         """Parse the paper's tuple notation.
 
         Round-trips :attr:`label` exactly, including the ``;H<h>S<s>``
-        suffix of nonzero healer/swapper configurations.
+        suffix of nonzero healer/swapper configurations and the ``;V``
+        descriptor-validation suffix.
 
         >>> ProtocolConfig.from_label("(rand,head,pushpull)").label
         '(rand,head,pushpull)'
         >>> ProtocolConfig.from_label("(rand,head,pushpull);H1S3").swapper
         3
+        >>> ProtocolConfig.from_label(
+        ...     "(rand,head,pushpull);V").validate_descriptors
+        True
         """
         match = _LABEL_RE.match(label.strip().lower())
         if match is None:
@@ -163,6 +181,7 @@ class ProtocolConfig:
                 view_size=view_size,
                 healer=int(match.group("healer") or 0),
                 swapper=int(match.group("swapper") or 0),
+                validate_descriptors=match.group("validate") is not None,
             )
         except ValueError as exc:
             raise ConfigurationError(
@@ -201,6 +220,14 @@ class NetworkConfig:
         Interface the UDP transport binds to.  The default loopback
         address keeps accidental exposure impossible; a real deployment
         overrides it deliberately.
+    auth_key:
+        Optional shared HMAC key.  When set, the daemon wraps every
+        outgoing gossip frame in a signed envelope
+        (:func:`repro.core.codec.encode_signed_message`) and *requires*
+        a valid signature on every incoming one -- unsigned or
+        forged frames are counted (``DaemonStats.auth_failures``) and
+        dropped before they can touch the view.  ``None`` (default)
+        keeps the open wire format.
     """
 
     cycle_seconds: float = 1.0
@@ -208,10 +235,18 @@ class NetworkConfig:
     request_timeout: float = 0.5
     wire_version: int = 2
     bind_host: str = "127.0.0.1"
+    auth_key: "bytes | None" = None
 
     def __post_init__(self) -> None:
         from repro.core.codec import SUPPORTED_WIRE_VERSIONS
 
+        if self.auth_key is not None and (
+            not isinstance(self.auth_key, bytes) or not self.auth_key
+        ):
+            raise ConfigurationError(
+                f"auth_key must be a non-empty bytes value or None, "
+                f"got {self.auth_key!r}"
+            )
         if self.cycle_seconds <= 0:
             raise ConfigurationError(
                 f"cycle_seconds must be > 0, got {self.cycle_seconds}"

@@ -48,6 +48,7 @@ from repro.core.descriptor import (
     increase_hop_count,
 )
 from repro.core.view import PartialView, apply_healer_swapper, merge
+from repro.defenses.validation import sanitize_payload
 
 
 class Exchange(NamedTuple):
@@ -190,6 +191,10 @@ class GossipNode:
         """
         self.responses_handled += 1
         increase_hop_count(payload)
+        if self.config.validate_descriptors:
+            payload = sanitize_payload(
+                payload, self.address, peer, self.config.view_size
+            )
         self._apply_merge(payload)
 
     # -- passive thread ------------------------------------------------------
@@ -205,6 +210,10 @@ class GossipNode:
         """
         self.requests_handled += 1
         increase_hop_count(payload)
+        if self.config.validate_descriptors:
+            payload = sanitize_payload(
+                payload, self.address, peer, self.config.view_size
+            )
         reply = self._outgoing_buffer() if self.config.pull else None
         self._apply_merge(payload)
         return reply

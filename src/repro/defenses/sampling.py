@@ -1,0 +1,124 @@
+"""Min-wise independent samplers (Brahms, Bortnikov et al. 2009).
+
+A :class:`MinWiseSampler` holds the address minimising a keyed hash
+over every address ever offered to it.  Because the hash is fixed at
+construction and min is order- and multiplicity-insensitive, the kept
+element is a uniform sample of the *set* of observed ids -- an attacker
+repeating its own address a million times gets exactly one lottery
+ticket per distinct id, the same as every honest node.  A group of
+samplers with independent keys therefore converges ``getPeer()`` to a
+uniform sample of node history that over-representation in gossip
+streams cannot displace.
+
+Keys are derived deterministically from an integer seed with
+:func:`hashlib.blake2b` (never Python's ``hash``, which varies with
+``PYTHONHASHSEED`` and would break the byte-identical determinism
+contract).  Nothing here touches an RNG: offering addresses draws
+nothing, so defended protocols keep cross-engine RNG parity.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.descriptor import Address
+from repro.core.errors import ConfigurationError
+
+__all__ = ["MinWiseSampler", "SamplerGroup"]
+
+_KEY_BYTES = 16
+_DIGEST_BYTES = 8
+
+
+def _derive_key(seed: int, index: int) -> bytes:
+    material = b"repro.defenses.sampler:%d:%d" % (seed, index)
+    return blake2b(material, digest_size=_KEY_BYTES).digest()
+
+
+def _encode_address(address: Address) -> bytes:
+    if isinstance(address, int):
+        return b"i%d" % address
+    return b"s" + str(address).encode("utf-8", "surrogatepass")
+
+
+class MinWiseSampler:
+    """One keyed min-hash slot: ``offer()`` ids, ``value`` is the minimum."""
+
+    __slots__ = ("_key", "_min_digest", "value")
+
+    def __init__(self, key: bytes) -> None:
+        self._key = key
+        self._min_digest: Optional[bytes] = None
+        self.value: Optional[Address] = None
+
+    def _digest(self, address: Address) -> bytes:
+        return blake2b(
+            _encode_address(address), digest_size=_DIGEST_BYTES, key=self._key
+        ).digest()
+
+    def offer(self, address: Address) -> None:
+        """Consider ``address``; keep it iff its keyed hash is the minimum."""
+        digest = self._digest(address)
+        if self._min_digest is None or digest < self._min_digest:
+            self._min_digest = digest
+            self.value = address
+
+    def reset(self) -> None:
+        """Forget the kept element (used when it is found to be dead)."""
+        self._min_digest = None
+        self.value = None
+
+
+class SamplerGroup:
+    """A fixed-size bank of independently keyed min-wise samplers.
+
+    Parameters
+    ----------
+    count:
+        Number of samplers (Brahms' ``l2``); each gets an independent
+        key derived from ``seed``.
+    seed:
+        Integer key-derivation seed.  Runs with equal seeds build equal
+        sampler banks -- part of the determinism contract.
+    """
+
+    __slots__ = ("_samplers",)
+
+    def __init__(self, count: int, seed: int) -> None:
+        if count < 1:
+            raise ConfigurationError(
+                f"sampler count must be >= 1, got {count}"
+            )
+        self._samplers = [
+            MinWiseSampler(_derive_key(seed, index)) for index in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._samplers)
+
+    def offer(self, addresses: Iterable[Address]) -> None:
+        """Feed every address to every sampler."""
+        samplers = self._samplers
+        for address in addresses:
+            for sampler in samplers:
+                sampler.offer(address)
+
+    def values(self) -> List[Address]:
+        """Currently kept addresses of the non-empty samplers, in order."""
+        return [s.value for s in self._samplers if s.value is not None]
+
+    def revalidate(self, is_alive: Callable[[Address], bool]) -> int:
+        """Reset samplers whose kept element fails the liveness probe.
+
+        Brahms' sampler validation: a sampler stuck on a departed node
+        would otherwise hold it forever (min-hash never forgets).
+        Returns the number of samplers reset.
+        """
+        reset = 0
+        for sampler in self._samplers:
+            value = sampler.value
+            if value is not None and not is_alive(value):
+                sampler.reset()
+                reset += 1
+        return reset

@@ -15,9 +15,13 @@ exchange contract) and reports, per protocol and fraction:
 
 Swept designs: the generic ``(rand,head,pushpull)`` instance, its
 healer variant (does H > 0 age out the forged descriptors, or does the
-attacker's hop-0 freshness defeat it?), and the Cyclon and PeerSwap
+attacker's hop-0 freshness defeat it?), the Cyclon and PeerSwap
 extension samplers (do swap-style exchanges, which conserve pointers,
-blunt the in-degree grab?).
+blunt the in-degree grab?), the Brahms defended sampler (limited
+pushes, per-round quotas and min-wise sampler history -- the purpose-
+built Byzantine defence), and the generic instance with descriptor
+validation enabled (``;V``: does the cheap stateless sanitizer alone
+already help?).
 
 The ``f = 0`` generic run is *the* table2 ``(rand,head,pushpull)`` cell
 -- same scenario, scale, engine and seed -- so its degree statistics
@@ -100,6 +104,8 @@ def _protocol_axes(scale: Scale) -> List[Tuple[str, Optional[str], int]]:
         (f"{GENERIC_LABEL};h{healer}s0", None, len(table2_labels)),
         ("cyclon", "cycle", len(table2_labels) + 1),
         ("peerswap", "cycle", len(table2_labels) + 2),
+        ("brahms", "cycle", len(table2_labels) + 3),
+        (f"{GENERIC_LABEL};v", None, len(table2_labels) + 4),
     ]
 
 

@@ -82,7 +82,7 @@ _DESCRIPTIONS = {
     "live-control": "live UDP cluster bootstrapped only through the seed "
     "node (control plane)",
     "attack": "hub-poisoning sweep: attacker fraction x protocol "
-    "(generic, healer, cyclon, peerswap)",
+    "(generic, healer, cyclon, peerswap, brahms, generic+validation)",
 }
 
 

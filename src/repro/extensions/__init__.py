@@ -15,12 +15,16 @@ benchmarks:
   (Guerraoui et al., arXiv 2408.03829: pointer-conserving exchanges with
   provable closeness-to-uniform -- the honest baseline for the
   adversarial experiments);
+- :mod:`repro.extensions.brahms` -- Brahms' Byzantine-resilient sampler
+  (Bortnikov et al. 2009: limited pushes, per-round quotas and min-wise
+  sampler history -- the defended comparator for the attack artefact);
 - :mod:`repro.extensions.registry` -- the name -> node-factory registry
-  that makes ``cyclon``/``peerswap`` addressable from
+  that makes ``brahms``/``cyclon``/``peerswap`` addressable from
   ``ExperimentPlan.protocols`` next to generic ``(peer,view,prop)``
   labels.
 """
 
+from repro.extensions.brahms import BrahmsConfig, BrahmsNode, brahms_engine
 from repro.extensions.cyclon import CyclonConfig, CyclonNode, cyclon_engine
 from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode, peerswap_engine
 from repro.extensions.registry import (
@@ -34,6 +38,8 @@ from repro.extensions.second_view import CombinedOverlay, CombinedSamplingServic
 
 __all__ = [
     "EXTENSION_PROTOCOLS",
+    "BrahmsConfig",
+    "BrahmsNode",
     "CombinedOverlay",
     "CombinedSamplingService",
     "CyclonConfig",
@@ -43,6 +49,7 @@ __all__ = [
     "PeerSwapNode",
     "ScampConfig",
     "ScampNetwork",
+    "brahms_engine",
     "cyclon_engine",
     "extension_protocol",
     "is_extension_protocol",

@@ -1,0 +1,386 @@
+"""Brahms: Byzantine-resilient peer sampling (Bortnikov et al. 2009).
+
+The attack artefact showed how cheaply the paper's generic node is
+poisoned: it believes every descriptor it is told, so a 1% hub attacker
+owning the freshness race captures 41% of the in-degree mass.  Brahms
+(Bortnikov, Gurevich, Keidar, Kliot & Shraer, "Brahms: Byzantine
+resilient random membership sampling", PODC'08 / Computer Networks
+2009) defends the *sampling layer* with three mechanisms, all local:
+
+1. **Limited pushes** -- a push advertises exactly one id, the sender's
+   own.  Payload entries beyond that are attacker noise and ignored;
+   the push candidate is the *engine-provided sender identity*, which a
+   payload cannot forge.
+2. **Per-round quotas with over-quota discard** -- a node expects about
+   one push per round.  When the weighted volume of received pushes
+   exceeds ``push_quota``, the round is suspected flooded and the view
+   update is *discarded* (the old view is kept).  An attacker shouting
+   louder freezes views instead of filling them.
+3. **Per-peer pull caps** -- Brahms spreads each round's pull over
+   ``beta * l1`` peers so no single responder owns the pull evidence;
+   the engines drive one exchange per cycle, so the equivalent defence
+   here caps how many ids one reply may contribute to the pull pool
+   (a uniform sub-sample -- unbiased for honest replies, ruinous for a
+   poisoned one that needs the whole attacker set admitted at once).
+4. **Min-wise independent samplers** -- every id observed in pushes and
+   pulls feeds a bank of keyed min-hash samplers
+   (:class:`repro.defenses.sampling.SamplerGroup`).  Each sampler
+   converges to a uniform sample of the observed id *set*; repetition
+   buys the attacker nothing.  ``getPeer`` answers from the samplers,
+   and a slice of every view rebuild comes from them, giving the view a
+   history floor the attacker cannot displace.
+
+Each round the view is rebuilt from three slices -- recent push
+senders, pulled ids, sampler history -- only when both push and pull
+evidence exists and the quota held; shortfall is topped up from the old
+view so the view size stays exactly ``view_size``.
+
+:class:`BrahmsNode` implements the same exchange interface as
+:class:`~repro.core.protocol.GossipNode`, so the object engines drive
+it unchanged; the registry pins it to the ``cycle`` engine like the
+other extension samplers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional
+
+from repro.core.descriptor import Address, NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.core.protocol import Exchange
+from repro.core.view import PartialView
+from repro.defenses.sampling import SamplerGroup
+from repro.simulation.engine import CycleEngine
+
+__all__ = ["BrahmsConfig", "BrahmsNode", "brahms_engine"]
+
+_SAMPLER_SEED = 0x42AA_11C5
+"""Base key-derivation constant for the sampler banks."""
+
+
+def _sampler_seed(address: Address) -> int:
+    """Per-node sampler key seed, derived from the node's address.
+
+    Each node needs *independent* min-hash keys -- with a shared key
+    every node's samplers would converge to the same global hash minima
+    and concentrate the whole overlay's in-degree on a handful of ids.
+    Hashing the address keeps the derivation deterministic (reproducible
+    runs) without consuming any engine RNG draws.
+    """
+    from hashlib import blake2b
+
+    material = b"%d:%r" % (_SAMPLER_SEED, address)
+    return int.from_bytes(
+        blake2b(material, digest_size=8).digest(), "little"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class BrahmsConfig:
+    """Brahms parameters.
+
+    Parameters
+    ----------
+    view_size:
+        View capacity ``c`` (the union of the three slices).
+    push_quota:
+        Per-round weighted push budget.  Every received push costs
+        ``max(1, len(payload))`` -- a correct Brahms push carries one
+        descriptor, so bloated poison payloads burn quota fast -- and a
+        round whose total exceeds the quota keeps the old view.
+    sampler_count:
+        Size of the min-wise sampler bank (Brahms' ``l2``).  ``None``
+        defaults to ``view_size``.
+    sample_slice:
+        Number of view slots rebuilt from sampler history each round
+        (Brahms' ``gamma * c``).  ``None`` defaults to
+        ``max(1, view_size // 5)``; the remainder is split evenly
+        between push and pull slices.
+    pull_per_peer:
+        Cap on how many ids a *single* pull reply may contribute to the
+        round's pull evidence.  Brahms issues ``beta * l1`` pulls per
+        round so no one responder dominates the pull pool; the engines
+        drive one exchange per cycle, so without a cap a single
+        poisoned reply fills the whole pull slice.  Capped ids are
+        sampled uniformly from the reply (unbiased for honest peers);
+        the full reply still feeds the samplers, which repetition
+        cannot displace.  ``None`` defaults to
+        ``max(1, view_size // 6)``.
+    """
+
+    view_size: int = 30
+    push_quota: int = 8
+    sampler_count: Optional[int] = None
+    sample_slice: Optional[int] = None
+    pull_per_peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.view_size < 1:
+            raise ConfigurationError(
+                f"view_size must be >= 1, got {self.view_size}"
+            )
+        if self.push_quota < 1:
+            raise ConfigurationError(
+                f"push_quota must be >= 1, got {self.push_quota}"
+            )
+        if self.sampler_count is not None and self.sampler_count < 1:
+            raise ConfigurationError(
+                f"sampler_count must be >= 1, got {self.sampler_count}"
+            )
+        if self.sample_slice is not None and not (
+            0 <= self.sample_slice <= self.view_size
+        ):
+            raise ConfigurationError(
+                "sample_slice must be in [0, view_size], got "
+                f"{self.sample_slice}"
+            )
+        if self.pull_per_peer is not None and self.pull_per_peer < 1:
+            raise ConfigurationError(
+                f"pull_per_peer must be >= 1, got {self.pull_per_peer}"
+            )
+
+    # engine/adversary interface parity with ProtocolConfig: exchanges
+    # carry a (one-entry) push and always pull a reply.
+    @property
+    def push(self) -> bool:
+        return True
+
+    @property
+    def pull(self) -> bool:
+        return True
+
+    @property
+    def pull_accept(self) -> int:
+        """Resolved per-reply pull contribution cap."""
+        return (
+            self.pull_per_peer
+            if self.pull_per_peer is not None
+            else max(1, self.view_size // 6)
+        )
+
+    @property
+    def samplers(self) -> int:
+        """Resolved sampler bank size."""
+        return (
+            self.sampler_count
+            if self.sampler_count is not None
+            else self.view_size
+        )
+
+    @property
+    def slices(self) -> "tuple[int, int, int]":
+        """Resolved ``(push, pull, sampler)`` slice sizes (sum = c)."""
+        c = self.view_size
+        n_samp = (
+            self.sample_slice
+            if self.sample_slice is not None
+            else max(1, c // 5)
+        )
+        n_samp = min(n_samp, c)
+        n_push = (c - n_samp + 1) // 2
+        n_pull = c - n_samp - n_push
+        return n_push, n_pull, n_samp
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``brahms(c=30,q=8,s=30)``."""
+        return (
+            f"brahms(c={self.view_size},q={self.push_quota},"
+            f"s={self.samplers})"
+        )
+
+
+class BrahmsNode:
+    """One Brahms participant, engine-compatible with ``GossipNode``."""
+
+    __slots__ = (
+        "address",
+        "config",
+        "view",
+        "_rng",
+        "liveness",
+        "_samplers",
+        "_push_pool",
+        "_pull_pool",
+        "_push_weight",
+    )
+
+    def __init__(
+        self,
+        address: Address,
+        config: BrahmsConfig,
+        rng: random.Random,
+        view: Optional[PartialView] = None,
+    ) -> None:
+        self.address = address
+        self.config = config
+        self._rng = rng
+        self.view = view if view is not None else PartialView(config.view_size)
+        self.liveness = None
+        self._samplers = SamplerGroup(config.samplers, _sampler_seed(address))
+        self._push_pool: List[Address] = []  # push senders, this round
+        self._pull_pool: List[Address] = []  # pulled ids, this round
+        self._push_weight = 0  # weighted push volume against the quota
+
+    def __repr__(self) -> str:
+        return (
+            f"BrahmsNode(address={self.address!r}, "
+            f"{self.config.label}, view_size={len(self.view)})"
+        )
+
+    # -- peer sampling primitive -------------------------------------------
+
+    def sample_peer(self) -> Optional[Address]:
+        """``getPeer`` from the sampler bank (uniform over history).
+
+        Falls back to a uniform view member while the samplers are still
+        empty (before the first exchange evidence arrives).
+        """
+        values = self._samplers.values()
+        if values:
+            return values[self._rng.randrange(len(values))]
+        entry = self.view.random_entry(self._rng)
+        return None if entry is None else entry.address
+
+    # -- active thread ------------------------------------------------------
+
+    def begin_exchange(self) -> Optional[Exchange]:
+        """Close the previous round, then push our id to a random peer.
+
+        Round close-out first applies the quota rule and (when evidence
+        allows) rebuilds the view from the push/pull/sampler slices;
+        then the view ages and a uniformly random live member receives
+        this node's limited push -- a single fresh self-descriptor.  The
+        pull half of the exchange is the peer's reply.
+        """
+        self._finish_round()
+        if self.liveness is not None:
+            self._samplers.revalidate(self.liveness)
+        self.view.increase_hop_counts()
+        is_live = self.liveness
+        if is_live is None:
+            candidates = list(self.view)
+        else:
+            candidates = [d for d in self.view if is_live(d.address)]
+        if not candidates:
+            return None
+        peer = candidates[self._rng.randrange(len(candidates))].address
+        return Exchange(peer, [NodeDescriptor(self.address, 0)])
+
+    def handle_response(self, peer: Address, payload: List[NodeDescriptor]) -> None:
+        """Collect the pulled ids; they feed this round's pull slice.
+
+        Every distinct id feeds the samplers (min-hash minima cannot be
+        displaced by volume), but at most ``pull_per_peer`` of them --
+        sampled uniformly -- enter the pull evidence pool, so one
+        poisoned reply cannot monopolise the round's pull slice.
+        """
+        own = self.address
+        unique = list(
+            dict.fromkeys(
+                d.address for d in payload if d.address != own
+            )
+        )
+        if not unique:
+            return
+        self._samplers.offer(unique)
+        cap = self.config.pull_accept
+        if len(unique) > cap:
+            unique = self._rng.sample(unique, cap)
+        self._pull_pool.extend(unique)
+
+    # -- passive thread ------------------------------------------------------
+
+    def handle_request(
+        self, peer: Address, payload: List[NodeDescriptor]
+    ) -> List[NodeDescriptor]:
+        """Receive a push from ``peer``; reply with our view (the pull).
+
+        Only the transport-level sender identity enters the push pool --
+        payload contents are untrusted and cannot nominate third
+        parties.  The push costs ``max(1, len(payload))`` quota, so
+        oversized poison payloads trip the round-discard defence.
+        """
+        self._push_weight += max(1, len(payload))
+        if peer != self.address:
+            self._push_pool.append(peer)
+            self._samplers.offer((peer,))
+        reply = [NodeDescriptor(self.address, 0)]
+        reply.extend(descriptor.copy() for descriptor in self.view)
+        return reply
+
+    # -- round close-out -----------------------------------------------------
+
+    def _finish_round(self) -> None:
+        """Apply Brahms' view-update rule for the evidence gathered since
+        the previous active turn."""
+        push_pool = self._push_pool
+        pull_pool = self._pull_pool
+        over_quota = self._push_weight > self.config.push_quota
+        self._push_weight = 0
+        if not push_pool and not pull_pool:
+            return
+        self._push_pool = []
+        self._pull_pool = []
+        if over_quota:
+            # Suspected push flood: keep the old view untouched.
+            return
+        if not push_pool or not pull_pool:
+            # Brahms updates only on rounds with both kinds of evidence;
+            # one-sided rounds would let a pull-only attacker dominate.
+            return
+        rng = self._rng
+        own = self.address
+        n_push, n_pull, n_samp = self.config.slices
+        chosen: List[Address] = []
+        chosen_set = set()
+
+        def take(pool: List[Address], budget: int) -> None:
+            unique = [
+                a
+                for a in dict.fromkeys(pool)
+                if a != own and a not in chosen_set
+            ]
+            picked = (
+                rng.sample(unique, budget)
+                if len(unique) > budget
+                else unique
+            )
+            chosen.extend(picked)
+            chosen_set.update(picked)
+
+        take(push_pool, n_push)
+        take(pull_pool, n_pull)
+        take(self._samplers.values(), n_samp)
+        old_entries = self.view.entries
+        rebuilt = [NodeDescriptor(address, 0) for address in chosen]
+        if len(rebuilt) < self.config.view_size:
+            # top the shortfall up from the old view, freshest first,
+            # so the view size (and the overlay's degree) stays stable.
+            for descriptor in old_entries:
+                if len(rebuilt) >= self.config.view_size:
+                    break
+                if descriptor.address in chosen_set:
+                    continue
+                chosen_set.add(descriptor.address)
+                rebuilt.append(descriptor)
+        self.view.replace(rebuilt)
+
+
+def brahms_engine(
+    config: Optional[BrahmsConfig] = None,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CycleEngine:
+    """A :class:`CycleEngine` whose nodes run Brahms.
+
+    >>> engine = brahms_engine(BrahmsConfig(view_size=10))
+    """
+    brahms_config = config if config is not None else BrahmsConfig()
+
+    def factory(address: Address, engine_rng: random.Random) -> BrahmsNode:
+        return BrahmsNode(address, brahms_config, engine_rng)
+
+    return CycleEngine(seed=seed, rng=rng, node_factory=factory)

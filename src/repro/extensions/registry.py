@@ -27,6 +27,7 @@ from typing import Callable, Dict
 
 from repro.core.descriptor import Address
 from repro.core.errors import ConfigurationError
+from repro.extensions.brahms import BrahmsConfig, BrahmsNode
 from repro.extensions.cyclon import CyclonConfig, CyclonNode
 from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode
 
@@ -57,6 +58,15 @@ class _CyclonProtocol(ExtensionProtocol):
 
 
 @dataclasses.dataclass(frozen=True)
+class _BrahmsProtocol(ExtensionProtocol):
+    def make_factory(self, config: object) -> NodeFactory:
+        def factory(address: Address, rng: random.Random) -> BrahmsNode:
+            return BrahmsNode(address, config, rng)
+
+        return factory
+
+
+@dataclasses.dataclass(frozen=True)
 class _PeerSwapProtocol(ExtensionProtocol):
     def make_factory(self, config: object) -> NodeFactory:
         def factory(address: Address, rng: random.Random) -> PeerSwapNode:
@@ -66,6 +76,14 @@ class _PeerSwapProtocol(ExtensionProtocol):
 
 
 EXTENSION_PROTOCOLS: Dict[str, ExtensionProtocol] = {
+    "brahms": _BrahmsProtocol(
+        name="brahms",
+        description=(
+            "Brahms Byzantine-resilient sampling (Bortnikov et al.); "
+            "limited pushes, per-round quotas, min-wise samplers"
+        ),
+        make_config=lambda view_size: BrahmsConfig(view_size=view_size),
+    ),
     "cyclon": _CyclonProtocol(
         name="cyclon",
         description=(

@@ -18,6 +18,14 @@ dynamics already aged past).  Requests and replies are correlated by a
 per-daemon exchange id carried in a 5-byte envelope in front of the codec
 frame.
 
+When ``NetworkConfig.auth_key`` is set, every outgoing frame is wrapped
+in a signed frame (truncated HMAC-SHA256, see
+:func:`repro.core.codec.encode_signed_message`) and every incoming
+datagram must verify against the same key -- unsigned or forged frames
+are dropped and counted in :attr:`DaemonStats.auth_failures`.  Signing
+wraps the transport bytes only, so a keyed run's protocol state is
+byte-identical to the unkeyed one.
+
 All view mutations happen under the :class:`PeerSamplingService` lock, so
 application threads can call ``getPeer`` concurrently with the gossip
 loop -- the thread-safety contract of the service API.
@@ -31,7 +39,14 @@ import random
 import struct
 from typing import List, Optional
 
-from repro.core.codec import CodecError, decode_frame, encode_message
+from repro.core.codec import (
+    AuthenticationError,
+    CodecError,
+    decode_frame,
+    decode_signed_frame,
+    encode_message,
+    encode_signed_message,
+)
 from repro.core.config import NetworkConfig
 from repro.core.descriptor import Address, NodeDescriptor
 from repro.core.protocol import GossipNode
@@ -65,6 +80,9 @@ class DaemonStats:
     """Replies dropped because their exchange had already timed out."""
     invalid_messages: int = 0
     """Datagrams the codec or envelope parser rejected."""
+    auth_failures: int = 0
+    """Datagrams a keyed daemon dropped because they were unsigned or
+    failed signature verification (see ``NetworkConfig.auth_key``)."""
 
 
 class GossipDaemon:
@@ -207,9 +225,15 @@ class GossipDaemon:
         """
         exchange_id = self._allocate_id()
         self.stats.exchanges_initiated += 1
-        payload = encode_message(
-            exchange.payload, version=self.network.wire_version
-        )
+        key = self.network.auth_key
+        if key is not None:
+            payload = encode_signed_message(
+                exchange.payload, key, version=self.network.wire_version
+            )
+        else:
+            payload = encode_message(
+                exchange.payload, version=self.network.wire_version
+            )
         request = _ENVELOPE.pack(_KIND_REQUEST, exchange_id) + payload
         if not self.node.config.pull:
             # Push-only: fire and forget, nothing to await.
@@ -248,8 +272,19 @@ class GossipDaemon:
             self.stats.invalid_messages += 1
             return
         kind, exchange_id = _ENVELOPE.unpack_from(data, 0)
+        key = self.network.auth_key
         try:
-            version, view = decode_frame(data[_ENVELOPE.size :])
+            if key is not None:
+                # Keyed daemons accept nothing unauthenticated: unsigned
+                # and unverifiable frames alike are dropped and counted.
+                version, view = decode_signed_frame(
+                    data[_ENVELOPE.size :], key
+                )
+            else:
+                version, view = decode_frame(data[_ENVELOPE.size :])
+        except AuthenticationError:
+            self.stats.auth_failures += 1
+            return
         except CodecError:
             self.stats.invalid_messages += 1
             return
@@ -260,7 +295,12 @@ class GossipDaemon:
             if reply is not None:
                 # Version negotiation: answer in the requester's version.
                 try:
-                    payload = encode_message(reply, version=version)
+                    if key is not None:
+                        payload = encode_signed_message(
+                            reply, key, version=version
+                        )
+                    else:
+                        payload = encode_message(reply, version=version)
                 except CodecError:
                     self.stats.invalid_messages += 1
                     return

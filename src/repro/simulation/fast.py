@@ -116,6 +116,7 @@ class FastCycleEngine(FlatArrayEngine):
         elif (
             self._accel is not None
             and self.reachable is None
+            and not self.config.validate_descriptors
             and type(self.rng) is random.Random
         ):
             self._run_cycle_c(self._accel)
@@ -174,6 +175,9 @@ class FastCycleEngine(FlatArrayEngine):
         reachable = self.reachable
         randrange = rng.randrange
         merge_into = self._merge_into
+        validating = config.validate_descriptors
+        if validating:
+            from repro.defenses.validation import sanitize_indexed
         inc = (1).__add__  # C-level h + 1 for map()
         alive_at = alive.__getitem__
         completed = 0
@@ -244,12 +248,25 @@ class FastCycleEngine(FlatArrayEngine):
                 rp_ids += vids[pbase:pend]
                 rp_hops = [1]
                 rp_hops += map(inc, vhops[pbase:pend])
+                if validating:
+                    rq_ids, rq_hops = sanitize_indexed(
+                        rq_ids, rq_hops, p, i, c
+                    )
+                    rp_ids, rp_hops = sanitize_indexed(
+                        rp_ids, rp_hops, i, p, c
+                    )
                 if rq_ids:
                     merge_into(p, rq_ids, rq_hops)
                 # active thread, second half: merge the pulled view.
-                merge_into(i, rp_ids, rp_hops)
+                if rp_ids:
+                    merge_into(i, rp_ids, rp_hops)
             else:
-                merge_into(p, rq_ids, rq_hops)
+                if validating:
+                    rq_ids, rq_hops = sanitize_indexed(
+                        rq_ids, rq_hops, p, i, c
+                    )
+                if rq_ids:
+                    merge_into(p, rq_ids, rq_hops)
             completed += 1
         self.completed_exchanges += completed
         self.failed_exchanges += failed

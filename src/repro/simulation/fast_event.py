@@ -200,6 +200,13 @@ class FastEventEngine(FlatArrayEngine):
     """No per-cycle permutation exists in the asynchronous model; node
     interleaving emerges from the timer phases."""
 
+    adversary = None
+    """An installed :class:`~repro.adversary.harness.FastEventAdversary`,
+    or ``None``.  While installed it supplies the event-dispatch loop
+    (pure Python, RNG-parity with ``EventEngine`` + wrapped nodes) for
+    the whole run -- the attack window may open at any cycle boundary,
+    so the honest C slice cannot be trusted across boundaries."""
+
     def __init__(
         self,
         config: Optional[ProtocolConfig] = None,
@@ -399,7 +406,11 @@ class FastEventEngine(FlatArrayEngine):
             next_tick = sched.peek_tick()
             if next_tick is None or next_tick > end:
                 pass
-            elif (accel := self._accel) is not None and type(
+            elif (adversary := self.adversary) is not None:
+                adversary.run_events(self, end)
+            elif (accel := self._accel) is not None and not (
+                self.config.validate_descriptors
+            ) and type(
                 self.rng
             ) is random.Random:
                 codes = self._c_model_codes()
@@ -567,6 +578,9 @@ class FastEventEngine(FlatArrayEngine):
         ps_rand = peer_sel is PeerSelection.RAND
         ps_head = peer_sel is PeerSelection.HEAD
         omniscient = self.omniscient_peer_selection
+        validating = config.validate_descriptors
+        if validating:
+            from repro.defenses.validation import sanitize_indexed
         inc = (1).__add__
         alive_at = alive.__getitem__
         rand = rng.random
@@ -757,11 +771,22 @@ class FastEventEngine(FlatArrayEngine):
                         m_src[rslot] = dst
                         m_dst[rslot] = src
                     if n:
-                        merge_into(
-                            dst,
-                            m_ids[off:off + n].tolist(),
-                            m_hops[off:off + n].tolist(),
-                        )
+                        if validating:
+                            r_ids, r_hops = sanitize_indexed(
+                                m_ids[off:off + n].tolist(),
+                                m_hops[off:off + n].tolist(),
+                                dst,
+                                src,
+                                c,
+                            )
+                            if r_ids:
+                                merge_into(dst, r_ids, r_hops)
+                        else:
+                            merge_into(
+                                dst,
+                                m_ids[off:off + n].tolist(),
+                                m_hops[off:off + n].tolist(),
+                            )
                     completed += 1
                     free_append(slot)
                     if rslot >= 0:
@@ -815,11 +840,22 @@ class FastEventEngine(FlatArrayEngine):
                         continue
                     n = m_len[slot]
                     off = slot * stride
-                    merge_into(
-                        dst,
-                        m_ids[off:off + n].tolist(),
-                        m_hops[off:off + n].tolist(),
-                    )
+                    if validating:
+                        r_ids, r_hops = sanitize_indexed(
+                            m_ids[off:off + n].tolist(),
+                            m_hops[off:off + n].tolist(),
+                            dst,
+                            m_src[slot],
+                            c,
+                        )
+                        if r_ids:
+                            merge_into(dst, r_ids, r_hops)
+                    else:
+                        merge_into(
+                            dst,
+                            m_ids[off:off + n].tolist(),
+                            m_hops[off:off + n].tolist(),
+                        )
                     free_append(slot)
 
         finally:

@@ -752,6 +752,12 @@ class ShardedCycleEngine(FlatArrayEngine):
             accelerate=accelerate,
             accelerator=accelerator,
         )
+        if self.config is not None and self.config.validate_descriptors:
+            raise ConfigurationError(
+                "the sharded engine does not support "
+                "validate_descriptors; use the cycle, fast or event "
+                "family for defended protocols"
+            )
         resolved = resolve_shards(shards)
         self.shards = 1 if resolved is None else resolved
         # The keyed streams hang off a digest of the initial RNG state:

@@ -385,7 +385,12 @@ def _measure_sampling_distance(
             "total_variation": None,
             "normalized_chi_square": None,
         }
-        if len(population) >= 2 and counts:
+        # Distances are only defined over samples that actually land in
+        # the current population: a fully eclipsed run can leave every
+        # honest sample pointing at churned-out attackers, making the
+        # in-population total zero even though ``counts`` is non-empty.
+        in_population = sum(counts.get(address, 0) for address in population)
+        if len(population) >= 2 and in_population:
             result["total_variation"] = total_variation_from_uniform(
                 counts, population
             )

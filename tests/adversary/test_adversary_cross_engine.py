@@ -1,10 +1,14 @@
 """The adversary acceptance contract: attacks are deterministic and
-byte-identical across the cycle-family engines.
+byte-identical across the engine families.
 
 Same spec + seed + fraction must produce the same final views (full
-``views()`` digest), the same exchange counters, and -- through the plan
-layer -- identical measurement records on ``cycle`` and ``fast`` (and
-``live`` for the digest/counter half).
+``views()`` digest) and the same exchange counters across the cycle
+family (``cycle``/``fast``/``live``) and, separately, across the event
+family (``event``/``fast-event``); through the plan layer the cycle
+family additionally produces identical measurement records.  The CI
+``defenses`` job runs this module on both kernel paths (C core and
+``REPRO_NO_ACCEL=1``), so the parity below is pinned for the pure-Python
+and accelerated loops alike.
 """
 
 import dataclasses
@@ -15,6 +19,8 @@ from repro.core.config import ProtocolConfig
 from repro.experiments.common import Scale
 from repro.workloads import (
     AdversarySpec,
+    CatastrophicFailure,
+    ContinuousChurn,
     ExperimentPlan,
     ScenarioSpec,
     prepare_run,
@@ -23,6 +29,7 @@ from repro.workloads import (
 )
 
 CYCLE_FAMILY = ("cycle", "fast", "live")
+EVENT_FAMILY = ("event", "fast-event")
 
 KIND_SPECS = {
     "hub": AdversarySpec(kind="hub", fraction=0.1),
@@ -126,6 +133,60 @@ def test_identity_under_non_omniscient_selection():
             runtime.engine.failed_exchanges,
         )
     assert len(set(outcomes.values())) == 1, outcomes
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_SPECS))
+def test_event_family_byte_identical(kind):
+    spec = attacked_spec(kind)
+    outcomes = {
+        engine: run_once(spec, engine) for engine in EVENT_FAMILY
+    }
+    assert len(set(outcomes.values())) == 1, outcomes
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    PROTOCOLS + ("(rand,head,pushpull);v", "(tail,rand,pushpull);h2s2;v"),
+)
+def test_event_family_identity_across_designs(protocol):
+    spec = attacked_spec("hub")
+    outcomes = {
+        engine: run_once(spec, engine, protocol=protocol)
+        for engine in EVENT_FAMILY
+    }
+    assert len(set(outcomes.values())) == 1, (protocol, outcomes)
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_SPECS))
+def test_event_family_identity_with_window(kind):
+    spec = attacked_spec(kind, start_cycle=3, stop_cycle=8)
+    outcomes = {
+        engine: run_once(spec, engine) for engine in EVENT_FAMILY
+    }
+    assert len(set(outcomes.values())) == 1, outcomes
+
+
+@pytest.mark.parametrize(
+    "events",
+    [
+        (CatastrophicFailure(at_cycle=5, fraction=0.2),),
+        (ContinuousChurn(joins_per_cycle=2, leaves_per_cycle=2),),
+    ],
+    ids=["catastrophic-failure", "continuous-churn"],
+)
+def test_event_family_identity_under_churn(events):
+    spec = dataclasses.replace(attacked_spec("hub"), events=events)
+    outcomes = {
+        engine: run_once(spec, engine) for engine in EVENT_FAMILY
+    }
+    assert len(set(outcomes.values())) == 1, outcomes
+
+
+def test_event_family_attack_changes_the_run():
+    honest = ScenarioSpec(name="honest", bootstrap="random", cycles=10)
+    for kind in sorted(KIND_SPECS):
+        attacked = attacked_spec(kind)
+        assert run_once(attacked, "event") != run_once(honest, "event"), kind
 
 
 def test_attack_changes_the_run():

@@ -116,13 +116,58 @@ class TestInstallation:
         _, runtime = run_digest(spec)
         assert runtime.adversary.state.active is False
 
+    def test_event_engines_install_the_event_adversary(self):
+        from repro.adversary import FastEventAdversary
+
+        spec = self.attacked(kind="hub", fraction=0.1)
+        runtime = prepare_run(
+            spec, CONFIG, n_nodes=20, seed=1, engine="fast-event"
+        )
+        assert isinstance(runtime.engine.adversary, FastEventAdversary)
+        runtime.run_to_end()
+        # no stop_cycle: the window stays open to the end of the run.
+        assert runtime.engine.adversary.active is True
+
+    def test_event_node_engine_wraps_attacker_nodes(self):
+        from repro.adversary import AdversarialNode
+
+        spec = self.attacked(kind="hub", fraction=0.2)
+        runtime = prepare_run(
+            spec, CONFIG, n_nodes=20, seed=1, engine="event"
+        )
+        attackers = set(runtime.adversary.attackers)
+        assert attackers
+        for address in attackers:
+            assert isinstance(
+                runtime.engine._nodes[address], AdversarialNode
+            )
+
+    def test_window_flag_primed_for_cycle_zero(self):
+        # The event engines fire their first before_cycle observer at
+        # boundary 1; an attack starting at cycle 0 must already be
+        # active during the first cycle's events.
+        spec = self.attacked(kind="hub", fraction=0.2, start_cycle=0)
+        runtime = prepare_run(
+            spec, CONFIG, n_nodes=20, seed=1, engine="fast-event"
+        )
+        assert runtime.adversary.state.active is True
+        delayed = self.attacked(kind="hub", fraction=0.2, start_cycle=3)
+        runtime = prepare_run(
+            delayed, CONFIG, n_nodes=20, seed=1, engine="event"
+        )
+        assert runtime.adversary.state.active is False
+
     def test_unsupported_engine_rejected_eagerly(self):
         spec = self.attacked(kind="hub", fraction=0.1)
         with pytest.raises(ConfigurationError, match="engine"):
-            prepare_run(spec, CONFIG, n_nodes=20, seed=1, engine="event")
+            prepare_run(
+                spec, CONFIG, n_nodes=20, seed=1, engine="fast-sharded"
+            )
 
     def test_engine_names_constant(self):
-        assert ADVERSARY_ENGINE_NAMES == {"cycle", "fast", "live"}
+        assert ADVERSARY_ENGINE_NAMES == {
+            "cycle", "fast", "live", "event", "fast-event"
+        }
 
 
 class _StubNetwork:

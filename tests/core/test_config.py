@@ -147,3 +147,61 @@ class TestProtocolSets:
 
     def test_iter_all_protocols_matches_constant(self):
         assert tuple(iter_all_protocols()) == ALL_PROTOCOLS
+
+
+class TestValidationFlag:
+    def test_validated_label_round_trip(self):
+        config = ProtocolConfig.from_label("(rand,head,pushpull);v")
+        assert config.validate_descriptors is True
+        assert config.label == "(rand,head,pushpull);V"
+        assert ProtocolConfig.from_label(config.label) == config
+
+    def test_validation_composes_with_healer_swapper(self):
+        config = ProtocolConfig.from_label("(tail,rand,pushpull);h2s2;v")
+        assert config.healer == 2 and config.swapper == 2
+        assert config.validate_descriptors is True
+        assert config.label == "(tail,rand,pushpull);H2S2;V"
+        assert ProtocolConfig.from_label(config.label) == config
+
+    def test_validation_defaults_off(self):
+        assert ProtocolConfig.from_label(
+            "(rand,head,pushpull)"
+        ).validate_descriptors is False
+
+    def test_replace_toggles_validation(self):
+        config = ProtocolConfig.from_label("(rand,head,pushpull)")
+        defended = config.replace(validate_descriptors=True)
+        assert defended.label.endswith(";V")
+        assert defended.replace(validate_descriptors=False) == config
+
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "(rand,head,pushpull);x",
+            "(rand,head,pushpull);v;v",
+            "(rand,head,pushpull);vh2s2",  # wrong suffix order
+            "(rand,head,pushpull);validate",
+        ],
+    )
+    def test_unknown_defence_suffixes_rejected(self, label):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig.from_label(label)
+
+
+class TestNetworkConfigAuthKey:
+    def test_default_is_unkeyed(self):
+        from repro.core.config import NetworkConfig
+
+        assert NetworkConfig().auth_key is None
+
+    def test_accepts_non_empty_bytes(self):
+        from repro.core.config import NetworkConfig
+
+        assert NetworkConfig(auth_key=b"secret").auth_key == b"secret"
+
+    @pytest.mark.parametrize("key", [b"", "secret", 42, ["k"]])
+    def test_rejects_non_bytes_and_empty(self, key):
+        from repro.core.config import NetworkConfig
+
+        with pytest.raises(ConfigurationError, match="auth_key"):
+            NetworkConfig(auth_key=key)

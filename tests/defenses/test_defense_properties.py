@@ -1,0 +1,264 @@
+"""Property-based fuzzing of adversary blocks and defended protocol labels.
+
+The same discipline as ``tests/workloads/test_spec_properties.py``, over
+the attack surface this package hardens:
+
+- every *valid* generated :class:`AdversarySpec` -- standalone and
+  embedded in a :class:`ScenarioSpec` -- round-trips through JSON to an
+  equal spec, and the serialization is a fixed point;
+- every *valid* defended protocol label (base tuple, optional
+  ``;H<h>S<s>``, optional ``;V``) round-trips
+  ``ProtocolConfig.from_label(label).label`` exactly;
+- every *invalid* document from a corruption catalog (negative
+  fractions, attacker/victim overlap, inverted windows, unknown defence
+  or adversary names, ...) raises
+  :class:`~repro.core.errors.ConfigurationError` eagerly -- never a bare
+  ``TypeError``/``KeyError`` from deeper layers.
+
+Generation uses the standard library's seeded ``random.Random`` only, so
+every failure reproduces from the printed iteration number.
+"""
+
+import random
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.errors import ConfigurationError
+from repro.workloads import AdversarySpec, ScenarioSpec
+
+N_VALID = 300
+N_INVALID = 300
+
+
+# -- generators --------------------------------------------------------------
+
+
+def gen_valid_adversary(rng):
+    """One random valid adversary block (a plain JSON-ready mapping)."""
+    kind = rng.choice(["hub", "eclipse", "tamper", "drop"])
+    payload = {"kind": kind}
+    if rng.random() < 0.5:
+        payload["fraction"] = rng.choice(
+            [0.0, 1.0, round(rng.random(), 6)]
+        )
+    else:
+        count = rng.randrange(0, 6)
+        attackers = rng.sample(range(100), count)
+        if attackers:
+            payload["attackers"] = attackers
+    if kind == "eclipse":
+        taken = set(payload.get("attackers", ()))
+        pool = [i for i in range(100, 140) if i not in taken]
+        payload["victims"] = rng.sample(pool, rng.randrange(1, 5))
+    if rng.random() < 0.5:
+        start = rng.randrange(0, 50)
+        payload["start_cycle"] = start
+        if rng.random() < 0.5:
+            payload["stop_cycle"] = start + rng.randrange(1, 50)
+    if rng.random() < 0.4:
+        payload["placement_seed"] = rng.randrange(0, 1 << 30)
+    return payload
+
+
+def gen_valid_label(rng):
+    """One random valid protocol label, defences included."""
+    base = "({},{},{})".format(
+        rng.choice(["rand", "head", "tail"]),
+        rng.choice(["rand", "head", "tail"]),
+        rng.choice(["push", "pushpull"]),
+    )
+    if rng.random() < 0.5:
+        base += f";h{rng.randrange(0, 9)}s{rng.randrange(0, 9)}"
+    if rng.random() < 0.5:
+        base += ";v"
+    return base
+
+
+# -- corruption catalog ------------------------------------------------------
+
+
+def _corrupt_negative_fraction(payload, rng):
+    payload.pop("attackers", None)
+    payload["fraction"] = rng.choice([-0.1, -1e-9, 1.0001, float("nan")])
+
+
+def _corrupt_unknown_kind(payload, rng):
+    payload["kind"] = rng.choice(["sybil", "", "HUB", 7, None])
+
+
+def _corrupt_unknown_field(payload, rng):
+    payload["stealth"] = True
+
+
+def _corrupt_overlap(payload, rng):
+    payload["kind"] = "eclipse"
+    payload.pop("fraction", None)
+    payload["attackers"] = [3, 4]
+    payload["victims"] = [4, 5]
+
+
+def _corrupt_window_inverted(payload, rng):
+    payload["start_cycle"] = 10
+    payload["stop_cycle"] = rng.choice([10, 9, 0, -5])
+
+
+def _corrupt_fraction_and_attackers(payload, rng):
+    payload["fraction"] = 0.2
+    payload["attackers"] = [1, 2]
+
+
+def _corrupt_duplicate_attackers(payload, rng):
+    payload.pop("fraction", None)
+    payload["attackers"] = [5, 5]
+
+
+def _corrupt_victims_without_eclipse(payload, rng):
+    payload["kind"] = rng.choice(["hub", "tamper", "drop"])
+    payload["victims"] = [9]
+
+
+def _corrupt_eclipse_without_victims(payload, rng):
+    payload["kind"] = "eclipse"
+    payload.pop("victims", None)
+
+
+def _corrupt_non_integer_indices(payload, rng):
+    payload.pop("fraction", None)
+    payload["attackers"] = rng.choice([[1.5], ["node3"], [True]])
+
+
+def _corrupt_attackers_not_list(payload, rng):
+    payload.pop("fraction", None)
+    payload["attackers"] = rng.choice([3, "0,1", {"index": 0}])
+
+
+def _corrupt_bad_start_cycle(payload, rng):
+    payload["start_cycle"] = rng.choice([1.5, "soon", None, True])
+
+
+def _corrupt_bad_placement_seed(payload, rng):
+    payload["placement_seed"] = rng.choice([0.5, "abc", False])
+
+
+CORRUPTIONS = [
+    _corrupt_negative_fraction,
+    _corrupt_unknown_kind,
+    _corrupt_unknown_field,
+    _corrupt_overlap,
+    _corrupt_window_inverted,
+    _corrupt_fraction_and_attackers,
+    _corrupt_duplicate_attackers,
+    _corrupt_victims_without_eclipse,
+    _corrupt_eclipse_without_victims,
+    _corrupt_non_integer_indices,
+    _corrupt_attackers_not_list,
+    _corrupt_bad_start_cycle,
+    _corrupt_bad_placement_seed,
+]
+
+BAD_LABELS = [
+    "(rand,head,pushpull);x",  # unknown defence suffix
+    "(rand,head,pushpull);vv",
+    "(rand,head,pushpull);v;v",
+    "(rand,head,pushpull);h2s2;w",
+    "(rand,head,pushpull);validate",
+    "(rand,swapper,pushpull)",  # not a view selection
+    "(rand,head,nothing)",  # not a propagation mode
+    "(rand,head)",
+    "(rand,head,pushpull);h2",  # healer without swapper digit
+    "(rand,head,pushpull);s2h2",  # wrong suffix order
+    "",
+]
+
+
+# -- properties --------------------------------------------------------------
+
+
+class TestValidAdversarySpecs:
+    def test_json_round_trip_identity(self):
+        rng = random.Random(0xA77AC)
+        for iteration in range(N_VALID):
+            payload = gen_valid_adversary(rng)
+            try:
+                spec = AdversarySpec.from_dict(payload)
+            except ConfigurationError as error:  # pragma: no cover
+                pytest.fail(
+                    f"generator produced an invalid payload at iteration "
+                    f"{iteration}: {payload!r} -> {error}"
+                )
+            restored = AdversarySpec.from_dict(spec.to_dict())
+            assert restored == spec, f"iteration {iteration}: {payload!r}"
+            assert restored.to_dict() == spec.to_dict()
+
+    def test_embedded_in_scenario_round_trip(self):
+        rng = random.Random(0xE27)
+        for iteration in range(100):
+            scenario = ScenarioSpec.from_dict(
+                {
+                    "name": f"fuzz-{iteration}",
+                    "bootstrap": "random",
+                    "cycles": 1 + rng.randrange(50),
+                    "adversary": gen_valid_adversary(rng),
+                }
+            )
+            restored = ScenarioSpec.from_json(scenario.to_json())
+            assert restored == scenario
+            assert restored.to_json() == scenario.to_json()
+
+    def test_replace_revalidates(self):
+        rng = random.Random(0xB0B)
+        for _ in range(50):
+            spec = AdversarySpec.from_dict(gen_valid_adversary(rng))
+            assert spec.replace(placement_seed=9).placement_seed == 9
+            with pytest.raises(ConfigurationError):
+                spec.replace(fraction=-0.5)
+
+
+class TestValidDefendedLabels:
+    def test_label_round_trip(self):
+        rng = random.Random(0x1ABE1)
+        for iteration in range(N_VALID):
+            label = gen_valid_label(rng)
+            config = ProtocolConfig.from_label(label, view_size=8)
+            # label is canonical (upper-case suffix markers); parsing the
+            # canonical form is a fixed point.
+            again = ProtocolConfig.from_label(config.label, view_size=8)
+            assert again == config, f"iteration {iteration}: {label!r}"
+            assert again.label == config.label
+            assert config.validate_descriptors == label.endswith(";v")
+
+
+class TestInvalidDocuments:
+    def test_every_corruption_raises_configuration_error(self):
+        rng = random.Random(0xFA11)
+        for iteration in range(N_INVALID):
+            payload = gen_valid_adversary(rng)
+            corruption = CORRUPTIONS[iteration % len(CORRUPTIONS)]
+            corruption(payload, rng)
+            with pytest.raises(ConfigurationError):
+                AdversarySpec.from_dict(payload)
+
+    def test_corrupt_blocks_rejected_inside_scenarios_too(self):
+        rng = random.Random(0x5CE)
+        for iteration in range(len(CORRUPTIONS)):
+            payload = gen_valid_adversary(rng)
+            CORRUPTIONS[iteration](payload, rng)
+            with pytest.raises(ConfigurationError):
+                ScenarioSpec.from_dict(
+                    {
+                        "name": "corrupt",
+                        "bootstrap": "random",
+                        "adversary": payload,
+                    }
+                )
+
+    @pytest.mark.parametrize("label", BAD_LABELS)
+    def test_unknown_defence_names_rejected(self, label):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig.from_label(label)
+
+    def test_adversary_block_must_be_mapping(self):
+        for bad in ([], "hub", 3):
+            with pytest.raises(ConfigurationError):
+                AdversarySpec.from_dict(bad)

@@ -1,0 +1,88 @@
+"""Min-wise samplers: uniformity over sets, attacker resistance, liveness."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.defenses import MinWiseSampler, SamplerGroup
+from repro.defenses.sampling import _derive_key
+
+
+class TestMinWiseSampler:
+    def test_keeps_the_keyed_minimum_regardless_of_order(self):
+        addresses = [f"node{i}" for i in range(50)]
+        forward = MinWiseSampler(_derive_key(7, 0))
+        backward = MinWiseSampler(_derive_key(7, 0))
+        for a in addresses:
+            forward.offer(a)
+        for a in reversed(addresses):
+            backward.offer(a)
+        assert forward.value == backward.value is not None
+
+    def test_multiplicity_insensitive(self):
+        """An attacker repeating its address gets one lottery ticket."""
+        honest = MinWiseSampler(_derive_key(3, 1))
+        shouted = MinWiseSampler(_derive_key(3, 1))
+        population = [f"node{i}" for i in range(30)]
+        for a in population:
+            honest.offer(a)
+        for a in population:
+            shouted.offer(a)
+            for _ in range(1000):
+                shouted.offer("node0")
+        assert honest.value == shouted.value
+
+    def test_reset_forgets(self):
+        sampler = MinWiseSampler(_derive_key(1, 0))
+        sampler.offer("a")
+        sampler.reset()
+        assert sampler.value is None
+        sampler.offer("b")
+        assert sampler.value == "b"
+
+    def test_independent_keys_pick_different_minima(self):
+        population = [f"node{i}" for i in range(200)]
+        values = set()
+        for index in range(32):
+            sampler = MinWiseSampler(_derive_key(0, index))
+            for a in population:
+                sampler.offer(a)
+            values.add(sampler.value)
+        assert len(values) > 10  # independent keys spread over the set
+
+    def test_integer_and_string_addresses_do_not_collide(self):
+        sampler = MinWiseSampler(_derive_key(0, 0))
+        sampler.offer(1)
+        sampler.offer("1")
+        # both were considered distinctly; one of them won
+        assert sampler.value in (1, "1")
+
+
+class TestSamplerGroup:
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ConfigurationError, match="count"):
+            SamplerGroup(0, seed=0)
+
+    def test_equal_seeds_equal_banks(self):
+        a, b = SamplerGroup(8, seed=42), SamplerGroup(8, seed=42)
+        for g in (a, b):
+            g.offer(f"node{i}" for i in range(100))
+        assert a.values() == b.values()
+        assert len(SamplerGroup(8, seed=43).values()) == 0
+
+    def test_values_skip_empty_samplers(self):
+        group = SamplerGroup(4, seed=0)
+        assert group.values() == []
+        group.offer(["only"])
+        assert group.values() == ["only"] * 4
+
+    def test_revalidate_resets_dead_holdings(self):
+        group = SamplerGroup(6, seed=5)
+        group.offer(f"node{i}" for i in range(40))
+        before = group.values()
+        dead = before[0]
+        reset = group.revalidate(lambda address: address != dead)
+        assert reset == sum(1 for v in before if v == dead) >= 1
+        assert dead not in group.values()
+
+    def test_len(self):
+        assert len(SamplerGroup(13, seed=0)) == 13

@@ -1,0 +1,103 @@
+"""Descriptor sanity validation: the rules, and object/indexed lockstep."""
+
+import random
+
+import pytest
+
+from repro.core.descriptor import NodeDescriptor
+from repro.defenses import (
+    MAX_HOP_COUNT,
+    MIN_RELAYED_HOPS,
+    sanitize_indexed,
+    sanitize_payload,
+)
+
+
+def descriptors(*pairs):
+    return [NodeDescriptor(address, hops) for address, hops in pairs]
+
+
+class TestSanitizePayload:
+    def test_honest_payload_passes_unchanged(self):
+        payload = descriptors(("sender", 1), ("a", 2), ("b", 5))
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert out == payload
+
+    def test_receiver_entries_dropped(self):
+        payload = descriptors(("me", 3), ("a", 2))
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert [d.address for d in out] == ["a"]
+
+    def test_duplicates_first_occurrence_wins(self):
+        payload = descriptors(("a", 2), ("a", 9), ("b", 3))
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert out == descriptors(("a", 2), ("b", 3))
+
+    def test_forged_freshness_floored_not_dropped(self):
+        # The hub attack: accomplices advertised at hop 0 (arriving at
+        # hop 1 after the receiver's increment).  The address survives
+        # but its claimed freshness is capped.
+        payload = descriptors(("sender", 1), ("accomplice", 1), ("zero", 0))
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert out == descriptors(
+            ("sender", 1),
+            ("accomplice", MIN_RELAYED_HOPS),
+            ("zero", MIN_RELAYED_HOPS),
+        )
+
+    def test_sender_self_descriptor_keeps_hop_one(self):
+        payload = descriptors(("sender", 1))
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert out[0].hop_count == 1
+
+    def test_absurd_hop_counts_dropped(self):
+        # NodeDescriptor itself forbids negative hops, so only the
+        # upper bound is reachable on the object path.
+        payload = descriptors(
+            ("huge", MAX_HOP_COUNT + 1), ("edge", MAX_HOP_COUNT)
+        )
+        out = sanitize_payload(payload, "me", "sender", view_size=6)
+        assert [d.address for d in out] == ["edge"]
+
+    def test_oversized_payload_truncated(self):
+        payload = descriptors(*[(f"n{i}", 3) for i in range(20)])
+        out = sanitize_payload(payload, "me", "sender", view_size=4)
+        assert len(out) == 5  # view_size + 1
+
+    def test_empty_payload(self):
+        assert sanitize_payload([], "me", "sender", view_size=6) == []
+
+
+class TestIndexedLockstep:
+    """The indexed form must mirror the object form draw-for-draw."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_payloads_agree(self, seed):
+        rng = random.Random(seed)
+        n_ids = 12
+        receiver, sender = 0, 1
+        length = rng.randrange(0, 16)
+        ids = [rng.randrange(n_ids) for _ in range(length)]
+        # NodeDescriptor rejects negative hops at construction, so the
+        # shared corpus stays non-negative; the indexed-only negative
+        # path is pinned separately below.
+        hops = [
+            rng.choice([0, 1, 2, 3, 40, MAX_HOP_COUNT, MAX_HOP_COUNT + 7])
+            for _ in range(length)
+        ]
+        view_size = rng.randrange(1, 8)
+        payload = [NodeDescriptor(i, h) for i, h in zip(ids, hops)]
+        expect = sanitize_payload(payload, receiver, sender, view_size)
+        got_ids, got_hops = sanitize_indexed(
+            ids, hops, receiver, sender, view_size
+        )
+        assert got_ids == [d.address for d in expect]
+        assert got_hops == [d.hop_count for d in expect]
+
+    def test_indexed_drops_negative_hops(self):
+        # Raw flat-array rows are plain ints: a corrupted shard row can
+        # carry a negative where NodeDescriptor never could.
+        got_ids, got_hops = sanitize_indexed(
+            [3, 4, 5], [-1, 2, -7], receiver=0, sender=3, view_size=6
+        )
+        assert (got_ids, got_hops) == ([4], [2])

@@ -27,18 +27,20 @@ def result():
 
 class TestSweepStructure:
     def test_protocol_and_fraction_grid(self, result):
-        assert len(result.rows) == 4 * len(attack.FRACTIONS)
+        assert len(result.rows) == 6 * len(attack.FRACTIONS)
         protocols = {row.protocol for row in result.rows}
         assert any(p == "(rand,head,pushpull)" for p in protocols)
         assert any(";H" in p for p in protocols)  # the healer variant
         assert any(p.startswith("cyclon(") for p in protocols)
         assert any(p.startswith("peerswap(") for p in protocols)
+        assert any(p.startswith("brahms(") for p in protocols)
+        assert any(p.endswith(";V") for p in protocols)  # validated generic
         for row in result.rows:
             assert row.fraction in attack.FRACTIONS
 
     def test_extensions_pinned_to_cycle_engine(self, result):
         for row in result.rows:
-            if row.protocol.startswith(("cyclon(", "peerswap(")):
+            if row.protocol.startswith(("cyclon(", "peerswap(", "brahms(")):
                 assert row.engine == "cycle"
 
     def test_honest_rows_reference_no_attackers(self, result):
@@ -57,6 +59,16 @@ class TestSweepStructure:
             honest.attacker_share, 0.01
         )
         assert attacked.total_variation > honest.total_variation
+
+    def test_brahms_resists_the_flood(self, result):
+        # At f=0.1 -- where every undefended design loses most of its
+        # links -- the defended sampler keeps the attacker share small.
+        by_key = {(r.protocol, r.fraction): r for r in result.rows}
+        brahms = next(p for p, _ in by_key if p.startswith("brahms("))
+        generic = by_key[("(rand,head,pushpull)", 0.1)]
+        defended = by_key[(brahms, 0.1)]
+        assert defended.attacker_share < generic.attacker_share / 2
+        assert defended.total_variation < generic.total_variation
 
     def test_sampling_distance_reported_everywhere(self, result):
         for row in result.rows:

@@ -1,0 +1,184 @@
+"""Brahms: config validation, the three defences, overlay behavior."""
+
+import random
+
+import pytest
+
+from repro.core.descriptor import NodeDescriptor
+from repro.core.errors import ConfigurationError
+from repro.extensions.brahms import BrahmsConfig, BrahmsNode, brahms_engine
+from repro.simulation.scenarios import random_bootstrap
+
+
+def make_node(address="me", view_size=6, seed=0, **config_kwargs):
+    config = BrahmsConfig(view_size=view_size, **config_kwargs)
+    return BrahmsNode(address, config, random.Random(seed))
+
+
+def seed_view(node, addresses, hops=1):
+    node.view.replace([NodeDescriptor(a, hops) for a in addresses])
+
+
+class TestBrahmsConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(view_size=0)
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(push_quota=0)
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(sampler_count=0)
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(sample_slice=-1)
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(view_size=6, sample_slice=7)
+        with pytest.raises(ConfigurationError):
+            BrahmsConfig(pull_per_peer=0)
+
+    def test_slices_partition_the_view(self):
+        for c in (1, 2, 3, 6, 12, 30):
+            n_push, n_pull, n_samp = BrahmsConfig(view_size=c).slices
+            assert n_push + n_pull + n_samp == c
+            assert min(n_push, n_pull, n_samp) >= 0
+
+    def test_label(self):
+        assert (
+            BrahmsConfig(view_size=12, push_quota=8).label
+            == "brahms(c=12,q=8,s=12)"
+        )
+
+    def test_exchange_shape_flags(self):
+        config = BrahmsConfig()
+        assert config.push and config.pull
+
+
+class TestLimitedPush:
+    def test_push_advertises_only_own_id(self):
+        node = make_node()
+        seed_view(node, ["a", "b", "c"])
+        exchange = node.begin_exchange()
+        assert exchange is not None
+        assert [d.address for d in exchange.payload] == ["me"]
+        assert exchange.payload[0].hop_count == 0
+
+    def test_payload_cannot_nominate_third_parties(self):
+        node = make_node()
+        # A poisoned push claims accomplices; only the transport-level
+        # sender identity may enter the push pool.
+        node.handle_request(
+            "attacker",
+            [NodeDescriptor("attacker", 0)]
+            + [NodeDescriptor(f"accomplice{i}", 0) for i in range(5)],
+        )
+        assert node._push_pool == ["attacker"]
+
+    def test_over_quota_round_discards_update(self):
+        node = make_node(push_quota=4)
+        seed_view(node, ["x", "y"])
+        before = sorted(d.address for d in node.view)
+        # weighted volume: one 6-entry poison push = 6 > 4.
+        node.handle_request(
+            "attacker", [NodeDescriptor(f"n{i}", 0) for i in range(6)]
+        )
+        node.handle_response("x", [NodeDescriptor("fresh", 1)])
+        node.begin_exchange()  # closes the round
+        after = sorted(
+            d.address for d in node.view if d.address != "fresh"
+        )
+        # the poisoned round kept the old view (modulo ageing).
+        assert before == after or "fresh" not in {
+            d.address for d in node.view
+        }
+
+    def test_within_quota_round_updates(self):
+        node = make_node(push_quota=8)
+        seed_view(node, ["x", "y"])
+        node.handle_request("pusher", [NodeDescriptor("pusher", 0)])
+        node.handle_response("x", [NodeDescriptor("pulled", 1)])
+        node.begin_exchange()
+        addresses = {d.address for d in node.view}
+        assert "pusher" in addresses
+        assert "pulled" in addresses
+
+
+class TestPullDefences:
+    def test_pull_contribution_capped_per_reply(self):
+        node = make_node(view_size=12, pull_per_peer=2)
+        payload = [NodeDescriptor(f"n{i}", 1) for i in range(10)]
+        node.handle_response("peer", payload)
+        assert len(node._pull_pool) == 2
+
+    def test_capped_ids_come_from_the_reply(self):
+        node = make_node(view_size=12, pull_per_peer=3)
+        node.handle_response(
+            "peer", [NodeDescriptor(f"n{i}", 1) for i in range(10)]
+        )
+        assert set(node._pull_pool) <= {f"n{i}" for i in range(10)}
+
+    def test_full_reply_still_feeds_samplers(self):
+        node = make_node(view_size=12, pull_per_peer=1)
+        node.handle_response(
+            "peer", [NodeDescriptor(f"n{i}", 1) for i in range(10)]
+        )
+        # samplers saw all 10 ids even though the pull pool got 1.
+        assert len(node._samplers.values()) == node.config.samplers
+
+    def test_own_address_never_pooled(self):
+        node = make_node()
+        node.handle_response("peer", [NodeDescriptor("me", 1)])
+        assert node._pull_pool == []
+
+    def test_one_sided_rounds_keep_old_view(self):
+        node = make_node()
+        seed_view(node, ["x", "y"])
+        before = {d.address for d in node.view}
+        node.handle_response("x", [NodeDescriptor("pull-only", 1)])
+        node.begin_exchange()
+        assert "pull-only" not in {d.address for d in node.view}
+        assert before <= {d.address for d in node.view} | {"x", "y"}
+
+
+class TestSampling:
+    def test_sample_peer_falls_back_to_view(self):
+        node = make_node()
+        seed_view(node, ["a"])
+        assert node.sample_peer() == "a"
+
+    def test_sample_peer_answers_from_history(self):
+        node = make_node()
+        seed_view(node, ["a"])
+        node.handle_response("a", [NodeDescriptor("b", 1)])
+        assert node.sample_peer() == "b"  # sampler history, not the view
+
+    def test_empty_node_samples_none(self):
+        assert make_node().sample_peer() is None
+
+    def test_sampler_keys_differ_across_nodes(self):
+        a, b = make_node("a"), make_node("b")
+        population = [f"n{i}" for i in range(60)]
+        for node in (a, b):
+            node._samplers.offer(population)
+        assert a._samplers.values() != b._samplers.values()
+
+
+class TestOverlay:
+    def run_overlay(self, seed=1, n=60, cycles=30):
+        engine = brahms_engine(
+            BrahmsConfig(view_size=8), seed=seed
+        )
+        random_bootstrap(engine, n)
+        engine.run(cycles)
+        return engine
+
+    def test_converges_and_keeps_views_full(self):
+        engine = self.run_overlay()
+        sizes = [len(entries) for entries in engine.views().values()]
+        assert min(sizes) >= 4
+        assert engine.completed_exchanges > 0
+
+    def test_deterministic_with_seed(self):
+        first = self.run_overlay(seed=7)
+        second = self.run_overlay(seed=7)
+        assert first.views() == second.views()
+
+    def test_repr(self):
+        assert "brahms" in repr(make_node())

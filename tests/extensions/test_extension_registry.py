@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.errors import ConfigurationError
+from repro.extensions.brahms import BrahmsConfig, BrahmsNode
 from repro.extensions.cyclon import CyclonConfig, CyclonNode
 from repro.extensions.peerswap import PeerSwapConfig, PeerSwapNode
 from repro.extensions.registry import (
@@ -15,7 +16,7 @@ from repro.workloads import ExperimentPlan, run_plan
 
 class TestRegistry:
     def test_registered_names(self):
-        assert set(EXTENSION_PROTOCOLS) == {"cyclon", "peerswap"}
+        assert set(EXTENSION_PROTOCOLS) == {"cyclon", "peerswap", "brahms"}
 
     def test_lookup_is_case_and_whitespace_insensitive(self):
         assert is_extension_protocol(" Cyclon ")
@@ -35,6 +36,9 @@ class TestRegistry:
         small = EXTENSION_PROTOCOLS["peerswap"].make_config(4)
         assert isinstance(small, PeerSwapConfig)
         assert (small.view_size, small.swap_size) == (4, 4)
+        brahms = EXTENSION_PROTOCOLS["brahms"].make_config(12)
+        assert isinstance(brahms, BrahmsConfig)
+        assert brahms.view_size == 12
 
     def test_factories_build_nodes(self):
         import random
@@ -42,6 +46,7 @@ class TestRegistry:
         for name, node_type in (
             ("cyclon", CyclonNode),
             ("peerswap", PeerSwapNode),
+            ("brahms", BrahmsNode),
         ):
             entry = EXTENSION_PROTOCOLS[name]
             config = entry.make_config(8)
@@ -64,7 +69,7 @@ class TestPlanAddressability:
             cycles=10,
         )
 
-    @pytest.mark.parametrize("protocol", ("cyclon", "peerswap"))
+    @pytest.mark.parametrize("protocol", ("cyclon", "peerswap", "brahms"))
     def test_extension_cell_runs_and_reports_canonical_label(self, protocol):
         result = run_plan(self.plan(protocol))
         (record,) = result.records
